@@ -1,0 +1,44 @@
+// Ablation for the Section II-B design discussion: one shared work queue
+// ("any work ... will be picked up by the next available thread", but "all
+// threads are contending for access to that single resource") versus one
+// queue per thread ("eliminates contention, but can result in ... idle"
+// threads), across task granularities.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwx;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  std::cout << "Work-queue configuration ablation (Section II-B), 4 simulated cores\n\n";
+
+  Table table({"Benchmark", "Queue", "Chunks/thread", "ms/step", "Queue wait ms",
+               "Imbalance"});
+  for (const auto& name : workloads::benchmark_names()) {
+    for (const auto assignment : {sim::Assignment::Static, sim::Assignment::SharedQueue}) {
+      for (int chunks : {1, 4, 16}) {
+        bench::RunOptions opt;
+        opt.n_threads = 4;
+        opt.steps = steps;
+        opt.assignment = assignment;
+        opt.chunks_per_thread = chunks;
+        const auto r = bench::run_simulated(name, opt);
+        table.row(name,
+                  assignment == sim::Assignment::Static ? "per-thread" : "single shared",
+                  chunks, Table::fixed(r.seconds_per_step * 1e3, 3),
+                  Table::fixed(r.counters.queue_wait_cycles /
+                                   (topo::core_i7_920().ghz * 1e9) * 1e3,
+                               2),
+                  Table::fixed(r.imbalance, 3));
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nsingle shared queue: dynamic balancing (lower imbalance at fine grain)\n"
+               "but measurable contention; per-thread queues: zero contention, static\n"
+               "distribution only.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared plumbing for the reproduction benches: runs a Table I benchmark on
+// a simulated machine configuration and reports timing/counter summaries.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "md/engine.hpp"
+#include "sim/machine.hpp"
+#include "topo/machine_spec.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mwx::bench {
+
+struct RunOptions {
+  int n_threads = 1;
+  int steps = 100;
+  int warmup_steps = 5;
+  topo::MachineSpec spec = topo::core_i7_920();
+  std::vector<topo::CpuSet> pin_masks;  // empty = OS scheduled
+  sim::SchedulerParams sched;           // defaults: mild noise, migratory
+  md::Layout layout = md::Layout::JavaObjects;
+  md::TemporariesMode temporaries = md::TemporariesMode::JavaStyle;
+  sim::Assignment assignment = sim::Assignment::Static;
+  int chunks_per_thread = 1;
+  int monitor_updates_per_task = 0;
+  int instr_calls_per_task = 0;
+  bool instrumentation_agent = false;
+  bool record_residency = false;
+  bool reorder_on_rebuild = false;
+  std::uint64_t workload_seed = 7;
+};
+
+struct RunResult {
+  double seconds = 0.0;            // simulated seconds for the measured steps
+  double seconds_per_step = 0.0;
+  double updates_per_second = 0.0; // simulation refresh rate
+  sim::MachineCounters counters;   // measured-step counters
+  long long rebuilds = 0;
+  double imbalance = 1.0;          // max/mean of per-thread busy time
+  std::vector<sim::ResidencySegment> residency;
+};
+
+// Runs `spec_name` (a Table I benchmark) under the given options on the
+// machine simulator.
+inline RunResult run_simulated(const std::string& spec_name, const RunOptions& opt) {
+  workloads::BenchmarkSpec spec = workloads::make_benchmark(spec_name, opt.workload_seed);
+  md::EngineConfig cfg = spec.engine;
+  cfg.n_threads = opt.n_threads;
+  cfg.chunks_per_thread = opt.chunks_per_thread;
+  cfg.assignment = opt.assignment;
+  cfg.heap.layout = opt.layout;
+  cfg.temporaries = opt.temporaries;
+  cfg.monitor_updates_per_task = opt.monitor_updates_per_task;
+  cfg.instr_calls_per_task = opt.instr_calls_per_task;
+  cfg.reorder_on_rebuild = opt.reorder_on_rebuild;
+  md::Engine engine(std::move(spec.system), cfg);
+
+  sim::MachineConfig mc;
+  mc.spec = opt.spec;
+  mc.sched = opt.sched;
+  mc.n_threads = opt.n_threads;
+  mc.pin_masks = opt.pin_masks;
+  mc.record_residency = opt.record_residency;
+  mc.instrumentation_agent = opt.instrumentation_agent;
+  sim::Machine machine(mc);
+
+  engine.run_simulated(machine, opt.warmup_steps);
+  machine.reset_counters();
+  const double t0 = machine.now_seconds();
+  const long long rebuilds0 = engine.rebuild_count();
+  engine.run_simulated(machine, opt.steps);
+
+  RunResult r;
+  r.seconds = machine.now_seconds() - t0;
+  r.seconds_per_step = r.seconds / opt.steps;
+  r.updates_per_second = r.seconds_per_step > 0 ? 1.0 / r.seconds_per_step : 0.0;
+  r.counters = machine.counters();
+  r.rebuilds = engine.rebuild_count() - rebuilds0;
+  const auto busy = machine.event_log().busy_per_thread();
+  if (!busy.empty()) {
+    double mx = 0.0, sum = 0.0;
+    for (double b : busy) {
+      mx = std::max(mx, b);
+      sum += b;
+    }
+    r.imbalance = sum > 0 ? mx / (sum / static_cast<double>(busy.size())) : 1.0;
+  }
+  r.residency = machine.residency();
+  return r;
+}
+
+}  // namespace mwx::bench

@@ -1,0 +1,77 @@
+// Section V-A reproduction: data packing / runtime reordering.
+//
+// The authors tried to reorder atom objects into spatial order with rapidly
+// successive new() calls, saw no improvement in VTune's mid-/last-level miss
+// rates, and concluded "the objects were not being reordered and packed in
+// memory".  Because our heap layout is a model, we can run all the cases
+// they could not distinguish:
+//
+//   1. java-objects               — creation-order objects (the real MW)
+//   2. java-objects + reorder     — the *attempted* reorder: the memory
+//                                   manager ignores it (identical addresses)
+//   3. reordered-objects          — what they hoped new() would do: objects
+//                                   re-laid in cell-traversal order each
+//                                   rebuild
+//   4. packed-soa                 — the C-style layout Java cannot express
+//
+// Case 2 must be indistinguishable from case 1 (the paper's observation);
+// cases 3 and 4 show what was actually available beyond Java's reach.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwx;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 50;
+
+  std::cout << "Data packing (Section V-A), Al-1000 on 4 simulated cores\n\n";
+
+  auto run = [&](md::Layout layout, bool reorder) {
+    bench::RunOptions opt;
+    opt.n_threads = 4;
+    opt.steps = steps;
+    opt.layout = layout;
+    opt.reorder_on_rebuild = reorder;
+    return bench::run_simulated("Al-1000", opt);
+  };
+
+  struct Case {
+    const char* name;
+    md::Layout layout;
+    bool reorder;
+  };
+  const Case cases[] = {
+      {"java-objects (baseline MW)", md::Layout::JavaObjects, false},
+      {"java-objects + attempted reorder", md::Layout::JavaObjects, true},
+      {"reordered-objects (real reorder)", md::Layout::ReorderedObjects, true},
+      {"packed-soa", md::Layout::PackedSoA, false},
+  };
+
+  Table table({"Layout", "ms/step", "L2 miss%", "L3 miss%", "DRAM MB/step"});
+  double base_l2 = 0.0, base_l3 = 0.0, attempted_l2 = 0.0, attempted_l3 = 0.0;
+  for (const Case& c : cases) {
+    const auto r = run(c.layout, c.reorder);
+    const double l2 = r.counters.l2.miss_rate() * 100.0;
+    const double l3 = r.counters.l3.miss_rate() * 100.0;
+    if (std::string(c.name).find("baseline") != std::string::npos) {
+      base_l2 = l2;
+      base_l3 = l3;
+    }
+    if (std::string(c.name).find("attempted") != std::string::npos) {
+      attempted_l2 = l2;
+      attempted_l3 = l3;
+    }
+    table.row(c.name, Table::fixed(r.seconds_per_step * 1e3, 3), Table::fixed(l2, 2),
+              Table::fixed(l3, 2), Table::fixed(r.counters.dram_bytes(64) / 1e6 / steps, 2));
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper's observation reproduced: attempted reorder changes miss rates by "
+            << Table::fixed(std::abs(attempted_l2 - base_l2), 3) << " pp (L2) / "
+            << Table::fixed(std::abs(attempted_l3 - base_l3), 3)
+            << " pp (L3) — \"a strong indicator that the objects were not being "
+               "reordered\".\n";
+  return 0;
+}

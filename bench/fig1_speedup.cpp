@@ -1,0 +1,59 @@
+// Figure 1 reproduction: observed speedup of the three Table I benchmarks on
+// an Intel Core i7 system, 1-4 cores.
+//
+// Paper's reported 4-core speedups: salt 3.63x, nanocar 3.03x, Al-1000 1.42x.
+// The shape to reproduce: salt scales well, nanocar adequately, Al-1000
+// (Lennard-Jones dominated, the repository's most common case) barely at all.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mwx;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 30;
+
+  std::cout << "Fig. 1 — Observed speedup on an Intel Core i7 system (simulated)\n"
+            << "paper reference at 4 cores: salt 3.63x, nanocar 3.03x, Al-1000 1.42x\n\n";
+
+  Table table({"Cores", "salt", "nanocar", "Al-1000"});
+  Table detail({"Benchmark", "Cores", "ms/step", "Speedup", "DRAM MB/step",
+                "L3 miss%", "Imbalance", "Rebuilds"});
+
+  const std::vector<std::string> benchmarks = {"salt", "nanocar", "Al-1000"};
+  std::vector<std::vector<double>> speedups(benchmarks.size());
+  std::vector<std::vector<double>> ms_per_step(benchmarks.size());
+
+  for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+    double t1 = 0.0;
+    for (int cores = 1; cores <= 4; ++cores) {
+      bench::RunOptions opt;
+      opt.n_threads = cores;
+      opt.steps = steps;
+      const bench::RunResult r = bench::run_simulated(benchmarks[b], opt);
+      if (cores == 1) t1 = r.seconds_per_step;
+      const double speedup = t1 / r.seconds_per_step;
+      speedups[b].push_back(speedup);
+      ms_per_step[b].push_back(r.seconds_per_step * 1e3);
+      detail.row(benchmarks[b], cores, Table::fixed(r.seconds_per_step * 1e3, 3),
+                 Table::fixed(speedup, 2),
+                 Table::fixed(r.counters.dram_bytes(64) / 1e6 / steps, 2),
+                 Table::fixed(r.counters.l3.miss_rate() * 100.0, 1),
+                 Table::fixed(r.imbalance, 3), static_cast<int>(r.rebuilds));
+    }
+  }
+
+  for (int cores = 1; cores <= 4; ++cores) {
+    table.row(cores, Table::fixed(speedups[0][static_cast<std::size_t>(cores - 1)], 2),
+              Table::fixed(speedups[1][static_cast<std::size_t>(cores - 1)], 2),
+              Table::fixed(speedups[2][static_cast<std::size_t>(cores - 1)], 2));
+  }
+  table.print(std::cout, "Speedup vs cores (series of Fig. 1)");
+  std::cout << '\n';
+  detail.print(std::cout, "Per-configuration detail");
+
+  std::cout << "\ncsv:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 2 reproduction: worker-thread-to-core affinity without pinning.
+//
+// The paper plotted one worker thread of the Al-1000 run wandering across
+// all four cores of the i7, visiting every core in under a second, with
+// migrations clustering around synchronization points.  We render the same
+// information as a per-core residency timeline for worker thread 0 plus
+// aggregate migration statistics, with a pinned run as the contrast case.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+// Prints an ASCII timeline: one row per core, one column per time bucket;
+// '#' = heavy residency in that bucket, '+' = some, '.' = none.
+void print_timeline(const std::vector<mwx::sim::ResidencySegment>& segments, int thread,
+                    int n_cores, int smt, double t0, double t1, int buckets) {
+  std::vector<std::vector<double>> occupancy(static_cast<std::size_t>(n_cores),
+                                             std::vector<double>(static_cast<std::size_t>(buckets), 0.0));
+  const double dt = (t1 - t0) / buckets;
+  for (const auto& seg : segments) {
+    if (seg.thread != thread) continue;
+    const int core = seg.pu / smt;
+    for (int b = 0; b < buckets; ++b) {
+      const double lo = t0 + b * dt;
+      const double hi = lo + dt;
+      const double overlap = std::min(seg.end_seconds, hi) - std::max(seg.begin_seconds, lo);
+      if (overlap > 0) occupancy[static_cast<std::size_t>(core)][static_cast<std::size_t>(b)] += overlap;
+    }
+  }
+  for (int c = 0; c < n_cores; ++c) {
+    std::cout << "  core " << c << " |";
+    for (int b = 0; b < buckets; ++b) {
+      const double frac = occupancy[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)] / dt;
+      std::cout << (frac > 0.5 ? '#' : (frac > 0.05 ? '+' : '.'));
+    }
+    std::cout << "|\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mwx;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  std::cout << "Fig. 2 — Worker thread to core affinity without pinning (simulated)\n"
+            << "paper observation: \"the thread moves frequently between all four cores\",\n"
+            << "visiting every core in less than one second.\n\n";
+
+  auto run = [&](bool pinned) {
+    bench::RunOptions opt;
+    opt.n_threads = 4;
+    opt.steps = steps;
+    opt.record_residency = true;
+    if (pinned) {
+      opt.pin_masks = {topo::CpuSet::of({0}), topo::CpuSet::of({2}), topo::CpuSet::of({4}),
+                       topo::CpuSet::of({6})};
+    }
+    return bench::run_simulated("Al-1000", opt);
+  };
+
+  const bench::RunResult unpinned = run(false);
+  const bench::RunResult pinned = run(true);
+
+  const auto spec = topo::core_i7_920();
+  double t1 = 0.0;
+  for (const auto& seg : unpinned.residency) t1 = std::max(t1, seg.end_seconds);
+
+  std::cout << "Worker thread 0 residency, unpinned (" << Table::fixed(t1 * 1e3, 1)
+            << " ms of simulated time):\n";
+  print_timeline(unpinned.residency, 0, spec.n_cores(), spec.smt_per_core, 0.0, t1, 72);
+
+  // Distinct cores visited by each thread, plus time-to-full-coverage.
+  Table table({"Thread", "Cores visited (unpinned)", "First full coverage (ms)",
+               "Cores visited (pinned)"});
+  for (int th = 0; th < 4; ++th) {
+    std::vector<char> seen(static_cast<std::size_t>(spec.n_cores()), 0);
+    int distinct = 0;
+    double covered_at = -1.0;
+    for (const auto& seg : unpinned.residency) {
+      if (seg.thread != th) continue;
+      const int core = seg.pu / spec.smt_per_core;
+      if (!seen[static_cast<std::size_t>(core)]) {
+        seen[static_cast<std::size_t>(core)] = 1;
+        ++distinct;
+        if (distinct == spec.n_cores()) covered_at = seg.begin_seconds;
+      }
+    }
+    std::vector<char> seen_pinned(static_cast<std::size_t>(spec.n_cores()), 0);
+    int distinct_pinned = 0;
+    for (const auto& seg : pinned.residency) {
+      if (seg.thread != th) continue;
+      const int core = seg.pu / spec.smt_per_core;
+      if (!seen_pinned[static_cast<std::size_t>(core)]) {
+        seen_pinned[static_cast<std::size_t>(core)] = 1;
+        ++distinct_pinned;
+      }
+    }
+    table.row(th, distinct,
+              covered_at >= 0 ? Table::fixed(covered_at * 1e3, 2) : std::string("never"),
+              distinct_pinned);
+  }
+  std::cout << '\n';
+  table.print(std::cout, "Core coverage per worker thread");
+
+  Table summary({"Configuration", "Migrations", "Migrations/s"});
+  summary.row("unpinned", static_cast<long long>(unpinned.counters.migrations),
+              Table::fixed(unpinned.counters.migrations / std::max(1e-9, unpinned.seconds), 0));
+  summary.row("pinned", static_cast<long long>(pinned.counters.migrations),
+              Table::fixed(pinned.counters.migrations / std::max(1e-9, pinned.seconds), 0));
+  std::cout << '\n';
+  summary.print(std::cout, "Migration summary");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) of the individual substrates: force
+// kernels, neighbor rebuild, reduction, synchronization primitives, queues,
+// the cache model and the monitors.  These measure the *native* C++ code on
+// the host, complementing the simulated end-to-end benches.
+#include <benchmark/benchmark.h>
+
+#include "md/engine.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/latch.hpp"
+#include "parallel/task_queue.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/monitor.hpp"
+#include "sim/cache.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace mwx;
+
+md::Engine make_engine(const std::string& benchmark_name, int threads = 1) {
+  auto spec = workloads::make_benchmark(benchmark_name, 7);
+  auto cfg = spec.engine;
+  cfg.n_threads = threads;
+  cfg.temporaries = md::TemporariesMode::InPlace;
+  return md::Engine(std::move(spec.system), cfg);
+}
+
+void BM_StepSalt(benchmark::State& state) {
+  auto eng = make_engine("salt");
+  for (auto _ : state) eng.run_inline(1);
+  state.SetItemsProcessed(state.iterations() * eng.system().n_atoms());
+}
+BENCHMARK(BM_StepSalt)->Unit(benchmark::kMillisecond);
+
+void BM_StepNanocar(benchmark::State& state) {
+  auto eng = make_engine("nanocar");
+  for (auto _ : state) eng.run_inline(1);
+  state.SetItemsProcessed(state.iterations() * eng.system().n_atoms());
+}
+BENCHMARK(BM_StepNanocar)->Unit(benchmark::kMillisecond);
+
+void BM_StepAl1000(benchmark::State& state) {
+  auto eng = make_engine("Al-1000");
+  for (auto _ : state) eng.run_inline(1);
+  state.SetItemsProcessed(state.iterations() * eng.system().n_atoms());
+}
+BENCHMARK(BM_StepAl1000)->Unit(benchmark::kMillisecond);
+
+void BM_ForcesOnly_LjGas(benchmark::State& state) {
+  auto sys = workloads::make_lj_gas(static_cast<int>(state.range(0)), 0.012, 150.0, 3);
+  md::EngineConfig cfg;
+  cfg.n_threads = 1;
+  cfg.temporaries = md::TemporariesMode::InPlace;
+  md::Engine eng(std::move(sys), cfg);
+  for (auto _ : state) {
+    eng.compute_forces_only();
+    benchmark::DoNotOptimize(eng.potential_energy());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForcesOnly_LjGas)->Arg(250)->Arg(1000)->Arg(4000)->Unit(benchmark::kMicrosecond);
+
+void BM_NeighborRebuild(benchmark::State& state) {
+  auto sys = workloads::make_lj_gas(static_cast<int>(state.range(0)), 0.012, 150.0, 3);
+  md::EngineConfig cfg;
+  cfg.n_threads = 1;
+  cfg.temporaries = md::TemporariesMode::InPlace;
+  md::Engine eng(std::move(sys), cfg);
+  for (auto _ : state) {
+    eng.compute_forces_only();  // unconditional rebuild + forces
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NeighborRebuild)->Arg(1000)->Arg(8000)->Unit(benchmark::kMicrosecond);
+
+void BM_CountDownLatch(benchmark::State& state) {
+  for (auto _ : state) {
+    parallel::CountDownLatch latch(8);
+    for (int i = 0; i < 8; ++i) latch.count_down();
+    latch.await();
+  }
+}
+BENCHMARK(BM_CountDownLatch);
+
+void BM_BarrierSingleParty(benchmark::State& state) {
+  parallel::CyclicBarrier barrier(1);
+  for (auto _ : state) barrier.arrive_and_wait();
+}
+BENCHMARK(BM_BarrierSingleParty);
+
+void BM_TaskQueuePushPop(benchmark::State& state) {
+  parallel::TaskQueue q;
+  for (auto _ : state) {
+    q.push([] {});
+    auto t = q.try_pop();
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TaskQueuePushPop);
+
+void BM_ThreadPoolRoundTrip(benchmark::State& state) {
+  parallel::FixedThreadPool pool({.n_threads = 2});
+  for (auto _ : state) {
+    parallel::CountDownLatch latch(1);
+    pool.submit([&] { latch.count_down(); });
+    latch.await();
+  }
+}
+BENCHMARK(BM_ThreadPoolRoundTrip);
+
+void BM_JamonMonitorAdd(benchmark::State& state) {
+  perf::JamonMonitor monitor;
+  for (auto _ : state) monitor.add("hot", 1e-6);
+}
+BENCHMARK(BM_JamonMonitorAdd);
+
+void BM_ShardedMonitorAdd(benchmark::State& state) {
+  perf::ShardedMonitor monitor(4);
+  for (auto _ : state) monitor.add(0, "hot", 1e-6);
+}
+BENCHMARK(BM_ShardedMonitorAdd);
+
+void BM_CacheModelAccess(benchmark::State& state) {
+  sim::SetAssocCache cache(256 * 1024, 64, 8);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, false));
+    addr += 64;
+    if (addr > (1u << 22)) addr = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void BM_SimulatedStepAl1000(benchmark::State& state) {
+  // Cost of simulating one Al-1000 step on 4 modelled cores (the harness's
+  // own overhead, relevant for reproducing long runs).
+  auto spec = workloads::make_benchmark("Al-1000", 7);
+  auto cfg = spec.engine;
+  cfg.n_threads = 4;
+  md::Engine eng(std::move(spec.system), cfg);
+  sim::MachineConfig mc;
+  mc.spec = topo::core_i7_920();
+  mc.n_threads = 4;
+  sim::Machine machine(mc);
+  for (auto _ : state) eng.run_simulated(machine, 1);
+}
+BENCHMARK(BM_SimulatedStepAl1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

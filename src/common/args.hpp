@@ -1,0 +1,74 @@
+// Minimal command-line flag parser for the examples and bench drivers.
+// Supports --name=value, --name value, and bare --flag booleans.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace mwx {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(a));
+        continue;
+      }
+      a = a.substr(2);
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        values_[a.substr(0, eq)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[a] = argv[++i];
+      } else {
+        values_[a] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stol(it->second);
+    } catch (...) {
+      throw ContractError("flag --" + name + " expects an integer, got '" + it->second + "'");
+    }
+  }
+
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      throw ContractError("flag --" + name + " expects a number, got '" + it->second + "'");
+    }
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mwx

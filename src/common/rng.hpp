@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the repository (workload generation, the
+// simulator's OS-scheduler noise, property-test inputs) flows through these
+// generators so that runs are reproducible from a single seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/vec3.hpp"
+
+namespace mwx {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** — fast, high-quality, and deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x6d77785f73656564ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for the small ranges we draw.
+    return next() % n;
+  }
+
+  // Standard normal via Box–Muller (no cached second value: keeps the
+  // generator state a pure function of draw count).
+  double gaussian() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  // Maxwell–Boltzmann velocity component sample for temperature T, mass m
+  // (kB in the caller's unit system).
+  Vec3 maxwell_boltzmann(double kb_t_over_m) {
+    const double s = std::sqrt(kb_t_over_m);
+    return {gaussian(0.0, s), gaussian(0.0, s), gaussian(0.0, s)};
+  }
+
+  // Uniform point inside an axis-aligned box [lo, hi).
+  Vec3 point_in_box(const Vec3& lo, const Vec3& hi) {
+    return {uniform(lo.x, hi.x), uniform(lo.y, hi.y), uniform(lo.z, hi.z)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace mwx

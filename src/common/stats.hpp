@@ -1,0 +1,82 @@
+// Small online/offline statistics helpers shared by the performance tooling
+// and the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace mwx {
+
+// Welford online accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] long long count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  long long n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Load-imbalance metric used throughout Section IV analysis:
+// imbalance = max(t_i) / mean(t_i).  1.0 is perfectly balanced.
+inline double imbalance_ratio(const std::vector<double>& per_thread_time) {
+  require(!per_thread_time.empty(), "imbalance needs at least one sample");
+  double mx = per_thread_time.front();
+  double sum = 0.0;
+  for (double t : per_thread_time) {
+    mx = std::max(mx, t);
+    sum += t;
+  }
+  const double mean = sum / static_cast<double>(per_thread_time.size());
+  return mean > 0.0 ? mx / mean : 1.0;
+}
+
+// Fraction of aggregate thread-time wasted waiting at the end-of-phase
+// barrier: sum(max - t_i) / (n * max).
+inline double barrier_waste_fraction(const std::vector<double>& per_thread_time) {
+  require(!per_thread_time.empty(), "waste needs at least one sample");
+  double mx = 0.0;
+  for (double t : per_thread_time) mx = std::max(mx, t);
+  if (mx <= 0.0) return 0.0;
+  double waste = 0.0;
+  for (double t : per_thread_time) waste += mx - t;
+  return waste / (mx * static_cast<double>(per_thread_time.size()));
+}
+
+inline double percentile(std::vector<double> values, double p) {
+  require(!values.empty(), "percentile of empty set");
+  require(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace mwx

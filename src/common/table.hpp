@@ -1,0 +1,53 @@
+// Lightweight aligned-ASCII / CSV table writer used by the benchmark
+// harnesses to print the paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mwx {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic/string arguments into one row.
+  template <typename... Args>
+  void row(const Args&... args) {
+    add_row({cell(args)...});
+  }
+
+  [[nodiscard]] std::size_t n_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const { return headers_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Pretty-prints with a ruled header, columns padded to content width.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  // Comma-separated form (headers first), suitable for plotting.
+  void print_csv(std::ostream& os) const;
+
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v);
+  static std::string cell(float v) { return cell(static_cast<double>(v)); }
+  static std::string cell(int v) { return std::to_string(v); }
+  static std::string cell(long v) { return std::to_string(v); }
+  static std::string cell(long long v) { return std::to_string(v); }
+  static std::string cell(unsigned v) { return std::to_string(v); }
+  static std::string cell(unsigned long v) { return std::to_string(v); }
+  static std::string cell(unsigned long long v) { return std::to_string(v); }
+
+  // Fixed-precision numeric cell.
+  static std::string fixed(double v, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mwx

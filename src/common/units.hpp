@@ -1,0 +1,34 @@
+// Internal unit system of the MD engine.
+//
+// Base units: length = ångström (Å), time = femtosecond (fs), mass = atomic
+// mass unit (amu).  The derived internal energy unit is therefore
+// 1 amu·Å²/fs² ≈ 103.6427 eV; conversion constants below express common
+// physical quantities in internal units.  All engine code stores quantities
+// in internal units; workload builders and reports convert at the boundary.
+#pragma once
+
+namespace mwx::units {
+
+// 1 eV expressed in internal energy units (amu·Å²/fs²).
+inline constexpr double kEv = 1.0 / 103.642696;
+
+// Boltzmann constant: 8.617333262e-5 eV/K, in internal units per kelvin.
+inline constexpr double kBoltzmann = 8.617333262e-5 * kEv;
+
+// Coulomb constant k_e = 14.399645 eV·Å/e², in internal units (charge in
+// elementary charges, distance in Å).
+inline constexpr double kCoulomb = 14.399645 * kEv;
+
+// Handy time conversions.
+inline constexpr double kFsPerPs = 1000.0;
+
+// Convert a kinetic energy sum (internal units) of `n` atoms into an
+// instantaneous temperature in kelvin: T = 2 KE / (3 N kB).
+constexpr double kinetic_to_kelvin(double kinetic_internal, int n_atoms) {
+  return n_atoms > 0 ? (2.0 * kinetic_internal) / (3.0 * n_atoms * kBoltzmann) : 0.0;
+}
+
+constexpr double ev(double value_ev) { return value_ev * kEv; }
+constexpr double to_ev(double value_internal) { return value_internal / kEv; }
+
+}  // namespace mwx::units

@@ -1,0 +1,11 @@
+#include "common/vec3.hpp"
+
+#include <ostream>
+
+namespace mwx {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace mwx

@@ -1,0 +1,79 @@
+// Three-component double-precision vector used throughout the MD engine.
+//
+// The paper's Java application represented 3-D forces, placements and
+// velocities with a small convenience class whose heap-allocated instances
+// dominated the live heap (Section V-B).  In C++ Vec3 is a trivially
+// copyable value type; the "Java temporary object" behaviour is modelled
+// separately by mwx::perf::AllocationTracker and the simulator's heap model.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+
+namespace mwx {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  constexpr double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+  [[nodiscard]] constexpr double max_abs_component() const {
+    const double ax = x < 0 ? -x : x;
+    const double ay = y < 0 ? -y : y;
+    const double az = z < 0 ? -z : z;
+    return ax > ay ? (ax > az ? ax : az) : (ay > az ? ay : az);
+  }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+constexpr double dot(const Vec3& a, const Vec3& b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+constexpr double distance2(const Vec3& a, const Vec3& b) { return (a - b).norm2(); }
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace mwx

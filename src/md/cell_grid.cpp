@@ -1,0 +1,75 @@
+#include "md/cell_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mwx::md {
+
+CellGrid::CellGrid(const Vec3& lo, const Vec3& hi, double reach) : lo_(lo), hi_(hi) {
+  require(reach > 0.0, "cell reach must be positive");
+  const Vec3 ext = hi - lo;
+  require(ext.x > 0 && ext.y > 0 && ext.z > 0, "degenerate box");
+  nx_ = std::max(1, static_cast<int>(std::floor(ext.x / reach)));
+  ny_ = std::max(1, static_cast<int>(std::floor(ext.y / reach)));
+  nz_ = std::max(1, static_cast<int>(std::floor(ext.z / reach)));
+  inv_wx_ = static_cast<double>(nx_) / ext.x;
+  inv_wy_ = static_cast<double>(ny_) / ext.y;
+  inv_wz_ = static_cast<double>(nz_) / ext.z;
+  start_.assign(static_cast<std::size_t>(n_cells()) + 1, 0);
+}
+
+int CellGrid::clamp_axis(double v, double lo, double inv_w, int n) const {
+  int c = static_cast<int>((v - lo) * inv_w);
+  if (c < 0) c = 0;
+  if (c >= n) c = n - 1;
+  return c;
+}
+
+int CellGrid::cell_of(const Vec3& p) const {
+  const int cx = clamp_axis(p.x, lo_.x, inv_wx_, nx_);
+  const int cy = clamp_axis(p.y, lo_.y, inv_wy_, ny_);
+  const int cz = clamp_axis(p.z, lo_.z, inv_wz_, nz_);
+  return (cz * ny_ + cy) * nx_ + cx;
+}
+
+void CellGrid::bin(const std::vector<Vec3>& positions) {
+  const std::size_t n = positions.size();
+  scratch_.resize(n);
+  std::fill(start_.begin(), start_.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = cell_of(positions[i]);
+    scratch_[i] = c;
+    ++start_[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t c = 1; c < start_.size(); ++c) start_[c] += start_[c - 1];
+  occupants_.resize(n);
+  std::vector<int> cursor(start_.begin(), start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    occupants_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(scratch_[i])]++)] =
+        static_cast<int>(i);
+  }
+}
+
+int CellGrid::neighbor_cells(int c, int out[27]) const {
+  MWX_ASSERT(c >= 0 && c < n_cells());
+  const int cx = c % nx_;
+  const int cy = (c / nx_) % ny_;
+  const int cz = c / (nx_ * ny_);
+  int n = 0;
+  for (int dz = -1; dz <= 1; ++dz) {
+    const int z = cz + dz;
+    if (z < 0 || z >= nz_) continue;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int y = cy + dy;
+      if (y < 0 || y >= ny_) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int x = cx + dx;
+        if (x < 0 || x >= nx_) continue;
+        out[n++] = (z * ny_ + y) * nx_ + x;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace mwx::md

@@ -1,0 +1,61 @@
+// Linked-cell grid — the O(N) neighbor-finding substrate (Hockney &
+// Eastwood), Section II-B: "the linked-cell approach superimposes a
+// three-dimensional grid over the simulation space ... sized such that the
+// neighbors of any given atom must fall within the grid box containing the
+// atom or in one of the grid boxes adjacent to that box."
+#pragma once
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/vec3.hpp"
+
+namespace mwx::md {
+
+class CellGrid {
+ public:
+  // `reach` is the interaction radius the grid must cover (cutoff + skin);
+  // cells are at least that wide in every dimension.
+  CellGrid(const Vec3& lo, const Vec3& hi, double reach);
+
+  // Rebuilds the cell contents from scratch (classic head/next linked
+  // lists, flattened into a CSR-style occupancy table for fast scanning).
+  void bin(const std::vector<Vec3>& positions);
+
+  [[nodiscard]] int n_cells() const { return nx_ * ny_ * nz_; }
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+
+  [[nodiscard]] int cell_of(const Vec3& p) const;
+
+  // Occupants of cell c (valid until the next bin()).
+  [[nodiscard]] const int* cell_begin(int c) const {
+    return occupants_.data() + start_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const int* cell_end(int c) const {
+    return occupants_.data() + start_[static_cast<std::size_t>(c) + 1];
+  }
+  [[nodiscard]] int cell_count(int c) const {
+    return start_[static_cast<std::size_t>(c) + 1] - start_[static_cast<std::size_t>(c)];
+  }
+
+  // The (up to 27) cell ids adjacent to cell c, including c itself, written
+  // into `out`; returns how many.
+  int neighbor_cells(int c, int out[27]) const;
+
+  // Total occupant entries (== number of binned atoms).
+  [[nodiscard]] std::size_t n_binned() const { return occupants_.size(); }
+
+ private:
+  [[nodiscard]] int clamp_axis(double v, double lo, double inv_w, int n) const;
+
+  Vec3 lo_, hi_;
+  double inv_wx_, inv_wy_, inv_wz_;
+  int nx_, ny_, nz_;
+  std::vector<int> start_;      // n_cells + 1
+  std::vector<int> occupants_;  // atom ids grouped by cell
+  std::vector<int> scratch_;
+};
+
+}  // namespace mwx::md

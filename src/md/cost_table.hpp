@@ -1,0 +1,44 @@
+// Arithmetic-cost model of the MD kernels, in core cycles.
+//
+// The traced execution charges these per-operation costs to the machine
+// simulator.  Values approximate an unvectorized JIT-compiled Java kernel on
+// a Nehalem-class core (the paper's reference hardware); EXPERIMENTS.md
+// records the calibration.  Only ratios matter for the reproduced shapes:
+// Coulomb pairs are several times costlier than LJ pairs (sqrt + divides),
+// bonded terms costlier still (trig, up to four atoms).
+#pragma once
+
+namespace mwx::md {
+
+struct CostTable {
+  double predictor_atom = 28.0;
+  double check_atom = 9.0;
+  double bin_atom = 45.0;           // serial linked-cell repopulation
+  double nbr_candidate = 11.0;      // distance test against a cell occupant
+  double nbr_accept = 7.0;          // appending one neighbor entry
+  double lj_pair = 55.0;
+  double coulomb_pair = 115.0;
+  double radial_bond = 450.0;
+  double angular_bond = 800.0;
+  double torsion_bond = 1100.0;
+  double reduce_atom_per_worker = 7.0;
+  double corrector_atom = 22.0;
+  double wall_check_atom = 6.0;
+
+  // Short-lived Vec3 temporaries allocated per operation when the engine is
+  // in Java-temporaries mode (Section V-B's convenience class).  The LJ
+  // inner loop allocates per pair (the dominant churn); the Coulomb kernel
+  // allocates its scratch vectors once per outer atom.
+  int temps_lj_pair = 1;
+  int temps_nbr_candidate = 2;  // dr vector + boxed distance of the test
+  int temps_coulomb_pair = 0;
+  int temps_coulomb_outer = 2;
+  int temps_radial_bond = 1;
+  int temps_angular_bond = 2;
+  int temps_torsion_bond = 3;
+  int temps_predictor_atom = 1;
+  int temps_corrector_atom = 1;
+  double temp_alloc_cycles = 14.0;  // bump-pointer allocation + header init
+};
+
+}  // namespace mwx::md

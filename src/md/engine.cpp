@@ -1,0 +1,285 @@
+#include "md/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/latch.hpp"
+
+namespace mwx::md {
+
+Engine::Engine(MolecularSystem sys, EngineConfig config)
+    : sys_(std::move(sys)),
+      config_(config),
+      heap_(config.heap, std::max(1, sys_.n_atoms())),
+      grid_(sys_.box().lo, sys_.box().hi, config.cutoff + config.skin),
+      nlist_(std::max(1, sys_.n_atoms()), config.cutoff, config.skin,
+             config.neighbor_capacity),
+      lj_(sys_, config.cutoff),
+      buffers_(config.n_threads, std::max(1, sys_.n_atoms())),
+      tracker_(config.n_threads) {
+  require(config_.n_threads > 0, "engine needs at least one worker");
+  require(config_.chunks_per_thread > 0, "chunks_per_thread must be positive");
+  require(sys_.n_atoms() > 0, "system has no atoms");
+  require(config_.dt_fs > 0.0, "timestep must be positive");
+  // The temporary Vec3 convenience class of Section V-B, plus the long-lived
+  // types so live-byte fractions are meaningful.
+  temp_type_ = tracker_.register_type("Vec3 (temporary)", config_.heap.vec3_object_bytes,
+                                      /*transient_type=*/true);
+  const int atom_type = tracker_.register_type(
+      "Atom", config_.heap.atom_object_bytes + 4 * config_.heap.vec3_object_bytes,
+      /*transient_type=*/false);
+  for (int i = 0; i < sys_.n_atoms(); ++i) tracker_.on_alloc(atom_type, 0);
+  // Other long-lived structures, so live-heap fractions are meaningful.
+  const int nbr_type = tracker_.register_type(
+      "neighbor lists (int[])",
+      static_cast<std::size_t>(sys_.n_atoms()) *
+          static_cast<std::size_t>(config_.neighbor_capacity) * 4,
+      /*transient_type=*/false);
+  tracker_.on_alloc(nbr_type, 0);
+  const int priv_type = tracker_.register_type(
+      "privatized force arrays",
+      static_cast<std::size_t>(config_.n_threads) *
+          static_cast<std::size_t>(sys_.n_atoms()) * 24,
+      /*transient_type=*/false);
+  tracker_.on_alloc(priv_type, 0);
+}
+
+void Engine::chunk_range(int n, int n_chunks, std::vector<std::pair<int, int>>& out) {
+  out.clear();
+  if (n <= 0 || n_chunks <= 0) return;
+  for (int c = 0; c < n_chunks; ++c) {
+    const int b = static_cast<int>((static_cast<long long>(n) * c) / n_chunks);
+    const int e = static_cast<int>((static_cast<long long>(n) * (c + 1)) / n_chunks);
+    if (e > b) out.emplace_back(b, e);
+  }
+}
+
+std::vector<Engine::TaskDesc> Engine::atom_phase_tasks(Kind kind) const {
+  std::vector<TaskDesc> tasks;
+  std::vector<std::pair<int, int>> ranges;
+  chunk_range(sys_.n_atoms(), config_.n_threads * config_.chunks_per_thread, ranges);
+  tasks.reserve(ranges.size());
+  int idx = 0;
+  for (auto [b, e] : ranges) tasks.push_back({kind, b, e, idx++ % config_.n_threads});
+  return tasks;
+}
+
+std::vector<Engine::TaskDesc> Engine::forces_phase_tasks() const {
+  // The fused 3+4 phase mixes task kinds in one dispatch: LJ/neighbor chunks
+  // over atoms, Coulomb chunks over the charged list, and bonded chunks over
+  // each bond list.  Owners round-robin within each kind so every thread
+  // gets a slice of every force type (the paper's per-phase 1/N split).
+  std::vector<TaskDesc> tasks;
+  std::vector<std::pair<int, int>> ranges;
+  const int n_chunks = config_.n_threads * config_.chunks_per_thread;
+
+  // LJ and Coulomb domains have index-correlated (triangular) per-item cost
+  // because the lower-indexed atom of a pair does the work; a cyclic
+  // decomposition gives each chunk the same expected load.
+  if (sys_.n_atoms() > 0) {
+    const int k = std::min(n_chunks, sys_.n_atoms());
+    for (int c = 0; c < k; ++c) {
+      tasks.push_back({Kind::FusedLj, c, sys_.n_atoms(), c % config_.n_threads, k});
+    }
+  }
+  if (sys_.n_charged() > 0) {
+    const int k = std::min(n_chunks, sys_.n_charged());
+    for (int c = 0; c < k; ++c) {
+      tasks.push_back({Kind::Coulomb, c, sys_.n_charged(), c % config_.n_threads, k});
+    }
+  }
+
+  chunk_range(static_cast<int>(sys_.radial_bonds().size()), n_chunks, ranges);
+  int idx = 0;
+  for (auto [b, e] : ranges)
+    tasks.push_back({Kind::RadialBonds, b, e, idx++ % config_.n_threads});
+
+  chunk_range(static_cast<int>(sys_.angular_bonds().size()), n_chunks, ranges);
+  idx = 0;
+  for (auto [b, e] : ranges)
+    tasks.push_back({Kind::AngularBonds, b, e, idx++ % config_.n_threads});
+
+  chunk_range(static_cast<int>(sys_.torsion_bonds().size()), n_chunks, ranges);
+  idx = 0;
+  for (auto [b, e] : ranges)
+    tasks.push_back({Kind::TorsionBonds, b, e, idx++ % config_.n_threads});
+  return tasks;
+}
+
+template <typename Mem>
+void Engine::run_task(const TaskDesc& t, int buffer, Mem& mem) {
+  switch (t.kind) {
+    case Kind::Predictor:
+      predictor_chunk(sys_, config_.dt_fs, config_.costs, t.begin, t.end, mem);
+      break;
+    case Kind::Check:
+      if (check_chunk(sys_, nlist_, config_.costs, t.begin, t.end, mem)) {
+        rebuild_flag_.store(true, std::memory_order_relaxed);
+      }
+      break;
+    case Kind::FusedLj:
+      fused_neighbors_lj_chunk(sys_, grid_, nlist_, lj_, config_.costs, rebuild_now_,
+                               buffers_, buffer, t.begin, t.end, t.stride, mem);
+      break;
+    case Kind::Coulomb:
+      coulomb_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, t.stride, mem);
+      break;
+    case Kind::RadialBonds:
+      radial_bond_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, mem);
+      break;
+    case Kind::AngularBonds:
+      angular_bond_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, mem);
+      break;
+    case Kind::TorsionBonds:
+      torsion_bond_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, mem);
+      break;
+    case Kind::Reduce:
+      reduce_chunk(sys_, config_.costs, buffers_, t.begin, t.end, mem);
+      break;
+    case Kind::Corrector:
+      corrector_chunk(sys_, config_.dt_fs, config_.costs, buffers_, buffer, t.begin, t.end,
+                      mem);
+      break;
+  }
+}
+
+void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, int tag,
+                        const std::vector<TaskDesc>& tasks) {
+  if (tasks.empty()) return;
+
+  if (machine != nullptr) {
+    // Traced backend: execute the physics inline while recording each task's
+    // access stream, then let the simulated machine schedule and time it.
+    phase_work_.clear();
+    phase_work_.tag = tag;
+    phase_work_.assignment = config_.assignment;
+    TraceMem mem(config_.costs, heap_, phase_work_, config_.temporaries, &tracker_,
+                 temp_type_, 0);
+    for (const TaskDesc& t : tasks) {
+      mem.open_task(t.owner, config_.monitor_updates_per_task);
+      run_task(t, t.owner, mem);
+      mem.close_task();
+    }
+    machine->run_phase(phase_work_, config_.instr_calls_per_task);
+    return;
+  }
+
+  if (pool == nullptr) {
+    // Inline single-threaded reference.
+    NullMem mem;
+    for (const TaskDesc& t : tasks) run_task(t, t.owner, mem);
+    return;
+  }
+
+  // Native threaded backend.
+  parallel::CountDownLatch latch(static_cast<int>(tasks.size()));
+  for (const TaskDesc& t : tasks) {
+    auto body = [this, &latch, t, tag] {
+      const int worker = std::max(0, parallel::FixedThreadPool::current_worker());
+      const double t0 = native_clock_.elapsed_seconds();
+      NullMem mem;
+      run_task(t, worker, mem);
+      const double t1 = native_clock_.elapsed_seconds();
+      if (native_log_ != nullptr) {
+        native_log_->record(worker, tag, t0, t1, parallel::current_cpu());
+      }
+      if (native_monitor_ != nullptr) {
+        for (int m = 0; m < std::max(1, config_.monitor_updates_per_task); ++m) {
+          native_monitor_->add("phase." + std::to_string(tag), t1 - t0);
+        }
+      }
+      latch.count_down();
+    };
+    if (config_.assignment == sim::Assignment::Static &&
+        pool->config().queue_mode == parallel::QueueMode::PerThread) {
+      pool->submit_to(t.owner, std::move(body));
+    } else {
+      pool->submit(std::move(body));
+    }
+  }
+  latch.await();
+}
+
+void Engine::master_rebuild_prologue(sim::Machine* machine) {
+  // Serial master work: repopulate the linked cells, snapshot reference
+  // positions, and (for the data-packing experiment) request an object
+  // reorder in cell-traversal order.
+  grid_.bin(sys_.positions());
+  nlist_.begin_rebuild(sys_.positions());
+  if (config_.reorder_on_rebuild) {
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(sys_.n_atoms()));
+    for (int c = 0; c < grid_.n_cells(); ++c) {
+      for (const int* it = grid_.cell_begin(c); it != grid_.cell_end(c); ++it) {
+        order.push_back(*it);
+      }
+    }
+    heap_.reorder(order);
+  }
+  if (machine != nullptr) {
+    machine->run_serial(config_.costs.bin_atom * sys_.n_atoms());
+  }
+}
+
+void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
+  // Phase 1: predictor.
+  exec_phase(pool, machine, kPhasePredictor, atom_phase_tasks(Kind::Predictor));
+
+  // Phase 2: neighbor-list validity check.
+  rebuild_flag_.store(!nlist_.ever_built(), std::memory_order_relaxed);
+  exec_phase(pool, machine, kPhaseCheck, atom_phase_tasks(Kind::Check));
+  rebuild_now_ = rebuild_flag_.load(std::memory_order_relaxed);
+
+  // Phases 3+4 (fused): optional rebuild + all force computations.
+  if (rebuild_now_) master_rebuild_prologue(machine);
+  exec_phase(pool, machine, kPhaseForces, forces_phase_tasks());
+  if (rebuild_now_) nlist_.end_rebuild();
+
+  // Phase 5: reduction of privatized force arrays.
+  exec_phase(pool, machine, kPhaseReduce, atom_phase_tasks(Kind::Reduce));
+  last_pe_ = buffers_.drain_pe();
+
+  // Phase 6: corrector.
+  exec_phase(pool, machine, kPhaseCorrector, atom_phase_tasks(Kind::Corrector));
+  last_ke_ = buffers_.drain_ke();
+
+  // Garbage collections triggered by this step's temporary churn appear as
+  // serial stop-the-world pauses on the simulated machine.
+  if (machine != nullptr) {
+    const long long gcs = heap_.take_new_gcs();
+    if (gcs > 0) {
+      machine->run_serial(static_cast<double>(gcs) * config_.heap.gc_pause_seconds *
+                          machine->config().spec.ghz * 1e9);
+      tracker_.collect_garbage();
+    }
+  }
+  ++steps_done_;
+}
+
+void Engine::run_native(parallel::FixedThreadPool& pool, int n_steps) {
+  require(pool.n_threads() == config_.n_threads,
+          "pool size must match engine's configured worker count");
+  for (int s = 0; s < n_steps; ++s) step(&pool, nullptr);
+}
+
+void Engine::run_inline(int n_steps) {
+  for (int s = 0; s < n_steps; ++s) step(nullptr, nullptr);
+}
+
+void Engine::run_simulated(sim::Machine& machine, int n_steps) {
+  require(machine.n_threads() == config_.n_threads,
+          "machine worker count must match engine's configured worker count");
+  for (int s = 0; s < n_steps; ++s) step(nullptr, &machine);
+}
+
+void Engine::compute_forces_only() {
+  rebuild_now_ = true;
+  master_rebuild_prologue(nullptr);
+  NullMem mem;
+  for (const TaskDesc& t : forces_phase_tasks()) run_task(t, t.owner, mem);
+  nlist_.end_rebuild();
+  for (const TaskDesc& t : atom_phase_tasks(Kind::Reduce)) run_task(t, t.owner, mem);
+  last_pe_ = buffers_.drain_pe();
+}
+
+}  // namespace mwx::md

@@ -1,0 +1,168 @@
+// SimulationEngine — the parallel Molecular Workbench timestep driver.
+//
+// Implements the six-phase structure of Section II-A:
+//   1. predictor for each atom,
+//   2. neighbor-list validity check,
+//   3. (if invalid) linked-cell repopulation + neighbor build — FUSED with
+//   4. force computation (LJ over neighbor lists, Coulomb over all charged
+//      pairs, bonded terms in bond-list order),
+//   5. reduction across the privatized per-worker force arrays,
+//   6. corrector.
+// Within a phase per-atom work is independent; phases are separated by
+// barrier semantics.  Work is split into 1/N contiguous chunks (optionally
+// finer) and dispatched through either execution backend:
+//
+//   * run_native(pool, steps)   — real threads (mwx::parallel), pure physics;
+//   * run_simulated(machine, …) — the same physics executed once per step
+//     while tracing the heap-layout-dependent access stream, which the
+//     machine simulator then schedules and times on a modelled multicore.
+//
+// Physics is identical across backends and layouts by construction: the
+// kernels are shared templates and the layout only affects modelled
+// addresses.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "md/cell_grid.hpp"
+#include "md/cost_table.hpp"
+#include "md/force_buffers.hpp"
+#include "md/kernels.hpp"
+#include "md/layout.hpp"
+#include "md/lj_table.hpp"
+#include "md/mem_model.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/system.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/alloc_tracker.hpp"
+#include "perf/event_log.hpp"
+#include "perf/monitor.hpp"
+#include "perf/scoped_timer.hpp"
+#include "sim/machine.hpp"
+
+namespace mwx::md {
+
+struct EngineConfig {
+  int n_threads = 1;
+  // Chunks per thread per domain; 1 reproduces the paper's "fraction 1/N"
+  // static split, larger values enable dynamic balancing via the shared
+  // queue.
+  int chunks_per_thread = 1;
+  sim::Assignment assignment = sim::Assignment::Static;
+
+  double dt_fs = 2.0;
+  double cutoff = 8.0;  // Å
+  double skin = 0.9;    // Å
+  int neighbor_capacity = 384;
+
+  HeapConfig heap;  // layout model for the simulated backend
+  TemporariesMode temporaries = TemporariesMode::JavaStyle;
+  CostTable costs;
+
+  // Observer-effect experiment knobs (Section IV-A).
+  int monitor_updates_per_task = 0;  // JaMON-style synchronized updates
+  int instr_calls_per_task = 0;      // VisualVM-style instrumented calls
+
+  // Data-packing experiment (Section V-A): on every neighbor rebuild,
+  // request that atom objects be re-laid in cell-traversal order.  Whether
+  // anything actually moves depends on heap.layout.
+  bool reorder_on_rebuild = false;
+};
+
+// Phase identifiers used as event-log tags.
+enum PhaseId : int {
+  kPhasePredictor = 1,
+  kPhaseCheck = 2,
+  kPhaseForces = 4,  // fused 3+4
+  kPhaseReduce = 5,
+  kPhaseCorrector = 6,
+};
+
+class Engine {
+ public:
+  Engine(MolecularSystem sys, EngineConfig config);
+
+  // --- Execution -------------------------------------------------------------
+  // Native threads.  The pool must have config.n_threads workers.
+  void run_native(parallel::FixedThreadPool& pool, int n_steps);
+  // Single-threaded in-process execution (reference / tests).
+  void run_inline(int n_steps);
+  // Traced execution timed by the machine simulator.  The machine must have
+  // config.n_threads worker threads.
+  void run_simulated(sim::Machine& machine, int n_steps);
+
+  // Computes forces/energies at the current positions without integrating
+  // (rebuilds the neighbor list unconditionally).  Used by tests/examples.
+  void compute_forces_only();
+
+  // --- State & observables -----------------------------------------------------
+  [[nodiscard]] const MolecularSystem& system() const { return sys_; }
+  [[nodiscard]] MolecularSystem& system() { return sys_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] double potential_energy() const { return last_pe_; }
+  [[nodiscard]] double kinetic_energy() const { return last_ke_; }
+  [[nodiscard]] double total_energy() const { return last_pe_ + last_ke_; }
+  [[nodiscard]] long long steps_done() const { return steps_done_; }
+  [[nodiscard]] long long rebuild_count() const { return nlist_.rebuild_count(); }
+  [[nodiscard]] const NeighborList& neighbor_list() const { return nlist_; }
+  [[nodiscard]] HeapModel& heap() { return heap_; }
+  [[nodiscard]] perf::AllocationTracker& tracker() { return tracker_; }
+  [[nodiscard]] int temp_vec3_type() const { return temp_type_; }
+
+  // Optional native-mode instrumentation.
+  void attach_monitor(perf::JamonMonitor* monitor) { native_monitor_ = monitor; }
+  void attach_event_log(perf::EventLog* log) { native_log_ = log; }
+
+ private:
+  enum class Kind { Predictor, Check, FusedLj, Coulomb, RadialBonds, AngularBonds,
+                    TorsionBonds, Reduce, Corrector };
+  struct TaskDesc {
+    Kind kind;
+    int begin;
+    int end;
+    int owner;
+    // Iteration stride.  Uniform-cost domains use contiguous chunks
+    // (stride 1); the triangular LJ/Coulomb domains use a cyclic (strided)
+    // decomposition so every chunk carries the same expected work — the
+    // balance MW's 1/N split needs to reach the paper's salt speedup.
+    int stride = 1;
+  };
+
+  [[nodiscard]] std::vector<TaskDesc> atom_phase_tasks(Kind kind) const;
+  [[nodiscard]] std::vector<TaskDesc> forces_phase_tasks() const;
+  static void chunk_range(int n, int n_chunks, std::vector<std::pair<int, int>>& out);
+
+  template <typename Mem>
+  void run_task(const TaskDesc& t, int buffer, Mem& mem);
+
+  // Backend-generic single step; `pool` may be null (inline) and `machine`
+  // may be null (native/inline).
+  void step(parallel::FixedThreadPool* pool, sim::Machine* machine);
+  void exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, int tag,
+                  const std::vector<TaskDesc>& tasks);
+  void master_rebuild_prologue(sim::Machine* machine);
+
+  MolecularSystem sys_;
+  EngineConfig config_;
+  HeapModel heap_;
+  CellGrid grid_;
+  NeighborList nlist_;
+  LjTable lj_;
+  ForceBuffers buffers_;
+  perf::AllocationTracker tracker_;
+  int temp_type_ = -1;
+  sim::PhaseWork phase_work_;
+  std::atomic<bool> rebuild_flag_{false};
+  bool rebuild_now_ = false;
+  double last_pe_ = 0.0;
+  double last_ke_ = 0.0;
+  long long steps_done_ = 0;
+  perf::JamonMonitor* native_monitor_ = nullptr;
+  perf::EventLog* native_log_ = nullptr;
+  perf::StopWatch native_clock_;
+};
+
+}  // namespace mwx::md

@@ -1,0 +1,81 @@
+#include "md/ewald/fft.hpp"
+
+#include <cmath>
+
+namespace mwx::md::ewald {
+
+void fft_1d(Complex* data, int n, bool inverse) {
+  MWX_ASSERT(is_pow2(n));
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson–Lanczos butterflies.
+  for (int len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * 3.14159265358979323846 / len;
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (int i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / n;
+    for (int i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+Fft3D::Fft3D(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  require(is_pow2(nx) && is_pow2(ny) && is_pow2(nz),
+          "FFT grid dimensions must be powers of two");
+}
+
+void Fft3D::transform(std::vector<Complex>& grid, bool inverse) const {
+  require(grid.size() == size(), "grid size mismatch");
+  // X lines (contiguous).
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < ny_; ++y) {
+      fft_1d(grid.data() + (static_cast<std::size_t>(z) * ny_ + y) * nx_, nx_, inverse);
+    }
+  }
+  // Y lines (gather/scatter through a scratch buffer).
+  std::vector<Complex> line(static_cast<std::size_t>(std::max(ny_, nz_)));
+  for (int z = 0; z < nz_; ++z) {
+    for (int x = 0; x < nx_; ++x) {
+      for (int y = 0; y < ny_; ++y) {
+        line[static_cast<std::size_t>(y)] =
+            grid[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x];
+      }
+      fft_1d(line.data(), ny_, inverse);
+      for (int y = 0; y < ny_; ++y) {
+        grid[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x] =
+            line[static_cast<std::size_t>(y)];
+      }
+    }
+  }
+  // Z lines.
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      for (int z = 0; z < nz_; ++z) {
+        line[static_cast<std::size_t>(z)] =
+            grid[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x];
+      }
+      fft_1d(line.data(), nz_, inverse);
+      for (int z = 0; z < nz_; ++z) {
+        grid[(static_cast<std::size_t>(z) * ny_ + y) * nx_ + x] =
+            line[static_cast<std::size_t>(z)];
+      }
+    }
+  }
+}
+
+}  // namespace mwx::md::ewald

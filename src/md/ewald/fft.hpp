@@ -1,0 +1,51 @@
+// In-house iterative radix-2 complex FFT (1-D and 3-D), the substrate for
+// the smooth particle-mesh Ewald solver — the paper's stated future-work
+// direction ("a particle-mesh-Ewald method would have lower algorithmic
+// complexity at O(N log N), but its use is a future work direction").
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace mwx::md::ewald {
+
+using Complex = std::complex<double>;
+
+// True when n is a power of two (and > 0).
+constexpr bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// Smallest power of two >= n.
+constexpr int next_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// In-place 1-D FFT over `n` (power of two) elements with stride 1.
+// `inverse` applies the conjugate transform and divides by n.
+void fft_1d(Complex* data, int n, bool inverse);
+
+// 3-D FFT over an nx*ny*nz grid stored x-fastest (index = (z*ny + y)*nx + x).
+class Fft3D {
+ public:
+  Fft3D(int nx, int ny, int nz);
+
+  void forward(std::vector<Complex>& grid) const { transform(grid, false); }
+  void inverse(std::vector<Complex>& grid) const { transform(grid, true); }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+           static_cast<std::size_t>(nz_);
+  }
+
+ private:
+  void transform(std::vector<Complex>& grid, bool inverse) const;
+  int nx_, ny_, nz_;
+};
+
+}  // namespace mwx::md::ewald

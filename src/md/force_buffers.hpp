@@ -1,0 +1,73 @@
+// Privatized per-worker force accumulation (phase 5's reduction input).
+//
+// "perform a reduction across all copies of the privatized force array"
+// (Section II-A, phase 5).  Each worker owns a full-length force array plus
+// scalar tallies; pair kernels write only their worker's copy, so no
+// synchronization is needed inside a phase, and the reduction phase sums the
+// copies in fixed worker order — making the parallel result deterministic.
+#pragma once
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/vec3.hpp"
+
+namespace mwx::md {
+
+class ForceBuffers {
+ public:
+  ForceBuffers(int n_workers, int n_atoms)
+      : n_workers_(n_workers), n_atoms_(n_atoms),
+        force_(static_cast<std::size_t>(n_workers),
+               std::vector<Vec3>(static_cast<std::size_t>(n_atoms))),
+        pe_(static_cast<std::size_t>(n_workers), 0.0),
+        ke_(static_cast<std::size_t>(n_workers), 0.0) {
+    require(n_workers > 0 && n_atoms > 0, "buffers need workers and atoms");
+  }
+
+  [[nodiscard]] int n_workers() const { return n_workers_; }
+  [[nodiscard]] int n_atoms() const { return n_atoms_; }
+
+  [[nodiscard]] Vec3& force(int worker, int atom) {
+    return force_[static_cast<std::size_t>(worker)][static_cast<std::size_t>(atom)];
+  }
+  [[nodiscard]] const Vec3& force(int worker, int atom) const {
+    return force_[static_cast<std::size_t>(worker)][static_cast<std::size_t>(atom)];
+  }
+
+  void add_pe(int worker, double v) { pe_[static_cast<std::size_t>(worker)] += v; }
+  void add_ke(int worker, double v) { ke_[static_cast<std::size_t>(worker)] += v; }
+
+  // Sums and clears the per-worker scalar tallies.
+  double drain_pe() {
+    double s = 0.0;
+    for (auto& v : pe_) {
+      s += v;
+      v = 0.0;
+    }
+    return s;
+  }
+  double drain_ke() {
+    double s = 0.0;
+    for (auto& v : ke_) {
+      s += v;
+      v = 0.0;
+    }
+    return s;
+  }
+
+  void zero_forces() {
+    for (auto& w : force_) {
+      for (auto& f : w) f = Vec3{};
+    }
+  }
+
+ private:
+  int n_workers_;
+  int n_atoms_;
+  std::vector<std::vector<Vec3>> force_;
+  std::vector<double> pe_;
+  std::vector<double> ke_;
+};
+
+}  // namespace mwx::md

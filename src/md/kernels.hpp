@@ -1,0 +1,372 @@
+// The MD kernels, templated on a memory-model policy (md/mem_model.hpp).
+//
+// Each function processes a contiguous chunk of its domain (atoms, charged
+// atoms, or bonds) — the unit the executor schedules — and writes forces
+// only into the given worker's private buffer, so chunks are race-free by
+// construction.  With Mem = NullMem these compile to pure physics; with
+// Mem = TraceMem they additionally emit the heap-layout-dependent address
+// stream and arithmetic costs consumed by the machine simulator.
+#pragma once
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "md/cell_grid.hpp"
+#include "md/cost_table.hpp"
+#include "md/force_buffers.hpp"
+#include "md/lj_table.hpp"
+#include "md/mem_model.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/system.hpp"
+
+namespace mwx::md {
+
+// ---------------------------------------------------------------------------
+// Phase 1: predictor — second-order Taylor step of position plus the first
+// half velocity kick; reflective walls keep atoms inside the box.
+// ---------------------------------------------------------------------------
+template <typename Mem>
+void predictor_chunk(MolecularSystem& sys, double dt, const CostTable& costs, int begin,
+                     int end, Mem& mem) {
+  auto& pos = sys.positions();
+  auto& vel = sys.velocities();
+  auto& acc = sys.accelerations();
+  const Box& box = sys.box();
+  for (int i = begin; i < end; ++i) {
+    mem.read_meta(i);
+    if (!sys.movable(i)) continue;
+    mem.read_pos(i);
+    mem.read_vel(i);
+    mem.read_acc(i);
+    Vec3& x = pos[static_cast<std::size_t>(i)];
+    Vec3& v = vel[static_cast<std::size_t>(i)];
+    const Vec3& a = acc[static_cast<std::size_t>(i)];
+    x += v * dt + a * (0.5 * dt * dt);
+    v += a * (0.5 * dt);
+    // Reflective walls.
+    for (int d = 0; d < 3; ++d) {
+      if (x[static_cast<std::size_t>(d)] < box.lo[static_cast<std::size_t>(d)]) {
+        x[static_cast<std::size_t>(d)] =
+            2.0 * box.lo[static_cast<std::size_t>(d)] - x[static_cast<std::size_t>(d)];
+        v[static_cast<std::size_t>(d)] = -v[static_cast<std::size_t>(d)];
+      } else if (x[static_cast<std::size_t>(d)] > box.hi[static_cast<std::size_t>(d)]) {
+        x[static_cast<std::size_t>(d)] =
+            2.0 * box.hi[static_cast<std::size_t>(d)] - x[static_cast<std::size_t>(d)];
+        v[static_cast<std::size_t>(d)] = -v[static_cast<std::size_t>(d)];
+      }
+    }
+    mem.write_pos(i);
+    mem.write_vel(i);
+    mem.temps(costs.temps_predictor_atom);
+    mem.compute(costs.predictor_atom + costs.wall_check_atom);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: neighbor-list validity check for a chunk.
+// ---------------------------------------------------------------------------
+template <typename Mem>
+bool check_chunk(const MolecularSystem& sys, const NeighborList& nlist, const CostTable& costs,
+                 int begin, int end, Mem& mem) {
+  for (int i = begin; i < end; ++i) {
+    mem.read_pos(i);
+    mem.compute(costs.check_atom);
+  }
+  return nlist.chunk_exceeds_skin(sys.positions(), begin, end);
+}
+
+// ---------------------------------------------------------------------------
+// Phases 3+4 (fused): per atom, optionally rebuild its neighbor list from
+// the (pre-binned) linked cells, then compute Lennard-Jones forces over the
+// list.  Pair (i, j) is processed by the lower index i — the paper's
+// convention — with j's share written into this worker's private buffer.
+// ---------------------------------------------------------------------------
+template <typename Mem>
+void fused_neighbors_lj_chunk(const MolecularSystem& sys, const CellGrid& grid,
+                              NeighborList& nlist, const LjTable& lj, const CostTable& costs,
+                              bool rebuild, ForceBuffers& buf, int worker, int begin, int end,
+                              int stride, Mem& mem) {
+  const auto& pos = sys.positions();
+  const double reach2 = nlist.reach() * nlist.reach();
+  const double cutoff2 = lj.cutoff2();
+
+  for (int i = begin; i < end; i += stride) {
+    mem.read_pos(i);
+    mem.read_meta(i);
+    const Vec3 xi = pos[static_cast<std::size_t>(i)];
+    const int ti = sys.type_of(i);
+    const bool mi = sys.movable(i);
+
+    if (rebuild) {
+      nlist.clear_atom(i);
+      int cells[27];
+      const int nc = grid.neighbor_cells(grid.cell_of(xi), cells);
+      for (int c = 0; c < nc; ++c) {
+        const int* it = grid.cell_begin(cells[c]);
+        const int* last = grid.cell_end(cells[c]);
+        for (; it != last; ++it) {
+          const int j = *it;
+          if (j <= i) continue;  // half list, stored on the lower index
+          mem.read_cell_entry(static_cast<std::uint64_t>(it - grid.cell_begin(0)));
+
+          // Two fixed atoms never interact (nanocar's platform), and
+          // directly bonded pairs are excluded from LJ.
+          if (!mi && !sys.movable(j)) continue;
+          if (sys.excluded(i, j)) continue;
+          mem.read_pos(j);
+          mem.temps(costs.temps_nbr_candidate);
+          mem.compute(costs.nbr_candidate);
+          if (distance2(xi, pos[static_cast<std::size_t>(j)]) <= reach2) {
+            const int k = nlist.count(i);
+            nlist.add_neighbor(i, j);
+            mem.write_neighbor_entry(nlist.entry_index(i, k));
+            mem.compute(costs.nbr_accept);
+          }
+        }
+      }
+    }
+
+    Vec3 fi{};
+    double pe = 0.0;
+    const int* it = nlist.begin(i);
+    const int* last = nlist.end(i);
+    for (int k = 0; it != last; ++it, ++k) {
+      const int j = *it;
+      mem.read_neighbor_entry(nlist.entry_index(i, k));
+      mem.read_pos(j);
+      mem.read_meta(j);
+      const Vec3 dr = xi - pos[static_cast<std::size_t>(j)];
+      const double r2 = dr.norm2();
+      if (r2 > cutoff2 || r2 <= 0.0) continue;
+      const int tj = sys.type_of(j);
+      const double eps = lj.epsilon(ti, tj);
+      if (eps == 0.0) continue;
+      const double sr2 = lj.sigma2(ti, tj) / r2;
+      const double sr6 = sr2 * sr2 * sr2;
+      const double sr12 = sr6 * sr6;
+      const double fscale = 24.0 * eps * (2.0 * sr12 - sr6) / r2;
+      const Vec3 f = dr * fscale;
+      fi += f;
+      buf.force(worker, j) -= f;
+      mem.write_private_force(worker, j);
+      pe += 4.0 * eps * (sr12 - sr6) - lj.shift(ti, tj);
+      mem.temps(costs.temps_lj_pair);
+      mem.compute(costs.lj_pair);
+    }
+    buf.force(worker, i) += fi;
+    buf.add_pe(worker, pe);
+    mem.write_private_force(worker, i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4 (continued): Coulomb forces between every pair of charged atoms,
+// no distance cutoff (Section II-B).  The chunk ranges over positions in the
+// charged-atom index list; the triangular inner loop gives lower-ranked
+// chunks more work — the deliberate index-correlated imbalance.
+// ---------------------------------------------------------------------------
+template <typename Mem>
+void coulomb_chunk(const MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf,
+                   int worker, int cbegin, int cend, int stride, Mem& mem) {
+  const auto& pos = sys.positions();
+  const auto& charged = sys.charged_indices();
+  const int n_charged = static_cast<int>(charged.size());
+  for (int ci = cbegin; ci < cend; ci += stride) {
+    const int i = charged[static_cast<std::size_t>(ci)];
+    mem.read_pos(i);
+    mem.read_meta(i);
+    mem.temps(costs.temps_coulomb_outer);
+    const Vec3 xi = pos[static_cast<std::size_t>(i)];
+    const double qi = sys.charge(i);
+    Vec3 fi{};
+    double pe = 0.0;
+    for (int cj = ci + 1; cj < n_charged; ++cj) {
+      const int j = charged[static_cast<std::size_t>(cj)];
+      mem.read_pos(j);
+      mem.read_meta(j);
+      const Vec3 dr = xi - pos[static_cast<std::size_t>(j)];
+      const double r2 = dr.norm2();
+      const double r = std::sqrt(r2);
+      const double e = units::kCoulomb * qi * sys.charge(j) / r;
+      const Vec3 f = dr * (e / r2);
+      fi += f;
+      buf.force(worker, j) -= f;
+      mem.write_private_force(worker, j);
+      pe += e;
+      mem.temps(costs.temps_coulomb_pair);
+      mem.compute(costs.coulomb_pair);
+    }
+    buf.force(worker, i) += fi;
+    buf.add_pe(worker, pe);
+    mem.write_private_force(worker, i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4 (continued): bonded forces, iterated in bond-list order with
+// indirect indexing into the atom array (Section II-B).
+// ---------------------------------------------------------------------------
+template <typename Mem>
+void radial_bond_chunk(const MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf,
+                       int worker, int bbegin, int bend, Mem& mem) {
+  const auto& pos = sys.positions();
+  const auto& bonds = sys.radial_bonds();
+  for (int b = bbegin; b < bend; ++b) {
+    const RadialBond& bond = bonds[static_cast<std::size_t>(b)];
+    mem.read_pos(bond.a);
+    mem.read_pos(bond.b);
+    mem.read_meta(bond.a);
+    mem.read_meta(bond.b);
+    const Vec3 dr = pos[static_cast<std::size_t>(bond.a)] - pos[static_cast<std::size_t>(bond.b)];
+    const double r = dr.norm();
+    if (r <= 1e-12) continue;
+    const double stretch = r - bond.r0;
+    const Vec3 f = dr * (-bond.k * stretch / r);
+    buf.force(worker, bond.a) += f;
+    buf.force(worker, bond.b) -= f;
+    buf.add_pe(worker, 0.5 * bond.k * stretch * stretch);
+    mem.write_private_force(worker, bond.a);
+    mem.write_private_force(worker, bond.b);
+    mem.temps(costs.temps_radial_bond);
+    mem.compute(costs.radial_bond);
+  }
+}
+
+template <typename Mem>
+void angular_bond_chunk(const MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf,
+                        int worker, int bbegin, int bend, Mem& mem) {
+  const auto& pos = sys.positions();
+  const auto& bonds = sys.angular_bonds();
+  for (int b = bbegin; b < bend; ++b) {
+    const AngularBond& bond = bonds[static_cast<std::size_t>(b)];
+    mem.read_pos(bond.a);
+    mem.read_pos(bond.b);
+    mem.read_pos(bond.c);
+    mem.read_meta(bond.b);
+    const Vec3 d1 = pos[static_cast<std::size_t>(bond.a)] - pos[static_cast<std::size_t>(bond.b)];
+    const Vec3 d2 = pos[static_cast<std::size_t>(bond.c)] - pos[static_cast<std::size_t>(bond.b)];
+    const double r1 = d1.norm();
+    const double r2 = d2.norm();
+    if (r1 <= 1e-12 || r2 <= 1e-12) continue;
+    double cos_t = dot(d1, d2) / (r1 * r2);
+    cos_t = std::min(1.0, std::max(-1.0, cos_t));
+    const double theta = std::acos(cos_t);
+    const double sin_t = std::max(1e-8, std::sqrt(1.0 - cos_t * cos_t));
+    const double dv = bond.k * (theta - bond.theta0);
+    // F_a = (dV/dθ / sinθ) ∇_a cosθ ; ∇_a cosθ = (d2/r2 − cosθ d1/r1)/r1.
+    const double coef = dv / sin_t;
+    const Vec3 fa = (d2 / r2 - d1 * (cos_t / r1)) * (coef / r1);
+    const Vec3 fc = (d1 / r1 - d2 * (cos_t / r2)) * (coef / r2);
+    buf.force(worker, bond.a) += fa;
+    buf.force(worker, bond.c) += fc;
+    buf.force(worker, bond.b) -= fa + fc;
+    buf.add_pe(worker, 0.5 * bond.k * (theta - bond.theta0) * (theta - bond.theta0));
+    mem.write_private_force(worker, bond.a);
+    mem.write_private_force(worker, bond.b);
+    mem.write_private_force(worker, bond.c);
+    mem.temps(costs.temps_angular_bond);
+    mem.compute(costs.angular_bond);
+  }
+}
+
+template <typename Mem>
+void torsion_bond_chunk(const MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf,
+                        int worker, int bbegin, int bend, Mem& mem) {
+  const auto& pos = sys.positions();
+  const auto& bonds = sys.torsion_bonds();
+  for (int t = bbegin; t < bend; ++t) {
+    const TorsionBond& bond = bonds[static_cast<std::size_t>(t)];
+    mem.read_pos(bond.a);
+    mem.read_pos(bond.b);
+    mem.read_pos(bond.c);
+    mem.read_pos(bond.d);
+    const Vec3 b1 = pos[static_cast<std::size_t>(bond.b)] - pos[static_cast<std::size_t>(bond.a)];
+    const Vec3 b2 = pos[static_cast<std::size_t>(bond.c)] - pos[static_cast<std::size_t>(bond.b)];
+    const Vec3 b3 = pos[static_cast<std::size_t>(bond.d)] - pos[static_cast<std::size_t>(bond.c)];
+    const Vec3 n1 = cross(b1, b2);
+    const Vec3 n2 = cross(b2, b3);
+    const double n1sq = n1.norm2();
+    const double n2sq = n2.norm2();
+    const double b2len = b2.norm();
+    // The dihedral is undefined (and its force singular, ~1/|n|²) when
+    // either atom triple is near-collinear; skip such geometries as real MD
+    // codes do.  The threshold is relative: sin² of the bend angle ≳ 1e-3.
+    if (b2len <= 1e-12 || n1sq <= 1e-3 * b1.norm2() * b2.norm2() ||
+        n2sq <= 1e-3 * b2.norm2() * b3.norm2()) {
+      continue;
+    }
+    const double phi = std::atan2(dot(cross(n1, n2), b2) / b2len, dot(n1, n2));
+    const double arg = bond.n * phi - bond.phi0;
+    const double dvdphi = -bond.k * bond.n * std::sin(arg);
+    // ∂φ/∂r_a = −(b2len / |n1|²) n1 ;  ∂φ/∂r_d = (b2len / |n2|²) n2.
+    const Vec3 fa = n1 * (dvdphi * b2len / n1sq);
+    const Vec3 fd = n2 * (-dvdphi * b2len / n2sq);
+    // Blondel–Karplus chain rule: ∇_bφ = (−p−1)∇_aφ + q∇_dφ with
+    // p = (b1·b2)/|b2|², q = (b3·b2)/|b2|² (validated against numerical
+    // gradients in forces_test).
+    const double p = dot(b1, b2) / (b2len * b2len);
+    const double q = dot(b3, b2) / (b2len * b2len);
+    const Vec3 fb = fa * (-p - 1.0) + fd * q;
+    const Vec3 fc = -(fa + fb + fd);
+    buf.force(worker, bond.a) += fa;
+    buf.force(worker, bond.b) += fb;
+    buf.force(worker, bond.c) += fc;
+    buf.force(worker, bond.d) += fd;
+    buf.add_pe(worker, bond.k * (1.0 + std::cos(arg)));
+    mem.write_private_force(worker, bond.a);
+    mem.write_private_force(worker, bond.b);
+    mem.write_private_force(worker, bond.c);
+    mem.write_private_force(worker, bond.d);
+    mem.temps(costs.temps_torsion_bond);
+    mem.compute(costs.torsion_bond);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 5: reduction across the privatized force arrays; the summed force
+// becomes the new acceleration (and each private copy is zeroed for the next
+// step).
+// ---------------------------------------------------------------------------
+template <typename Mem>
+void reduce_chunk(MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf, int begin,
+                  int end, Mem& mem) {
+  auto& acc = sys.accelerations();
+  const int workers = buf.n_workers();
+  for (int i = begin; i < end; ++i) {
+    Vec3 total{};
+    for (int w = 0; w < workers; ++w) {
+      mem.read_private_force(w, i);
+      total += buf.force(w, i);
+      buf.force(w, i) = Vec3{};
+      mem.write_private_force(w, i);
+    }
+    acc[static_cast<std::size_t>(i)] = total * sys.inv_mass(i);
+    mem.write_acc(i);
+    mem.compute(costs.reduce_atom_per_worker * workers);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 6: corrector — the second half velocity kick with the new
+// accelerations; tallies kinetic energy for the observables.
+// ---------------------------------------------------------------------------
+template <typename Mem>
+void corrector_chunk(MolecularSystem& sys, double dt, const CostTable& costs, ForceBuffers& buf,
+                     int worker, int begin, int end, Mem& mem) {
+  auto& vel = sys.velocities();
+  const auto& acc = sys.accelerations();
+  for (int i = begin; i < end; ++i) {
+    mem.read_meta(i);
+    if (!sys.movable(i)) continue;
+    mem.read_vel(i);
+    mem.read_acc(i);
+    Vec3& v = vel[static_cast<std::size_t>(i)];
+    v += acc[static_cast<std::size_t>(i)] * (0.5 * dt);
+    buf.add_ke(worker, 0.5 * sys.mass(i) * v.norm2());
+    mem.write_vel(i);
+    mem.temps(costs.temps_corrector_atom);
+    mem.compute(costs.corrector_atom);
+  }
+}
+
+}  // namespace mwx::md

@@ -1,0 +1,106 @@
+#include "md/layout.hpp"
+
+#include <algorithm>
+
+namespace mwx::md {
+
+const char* to_string(Layout l) {
+  switch (l) {
+    case Layout::JavaObjects: return "java-objects";
+    case Layout::ReorderedObjects: return "reordered-objects";
+    case Layout::PackedSoA: return "packed-soa";
+  }
+  return "?";
+}
+
+HeapModel::HeapModel(HeapConfig config, int n_atoms)
+    : config_(config), n_atoms_(static_cast<std::uint64_t>(n_atoms)) {
+  require(n_atoms > 0, "heap model needs at least one atom");
+
+  // Region plan (addresses are model-space, 4 KiB aligned regions):
+  //   [objects][SoA arrays][neighbor lists][cell lists][private forces][young]
+  stride_ = config_.atom_object_bytes + 4ull * config_.vec3_object_bytes;
+  const std::uint64_t page = 4096;
+  auto align = [&](std::uint64_t v) { return (v + page - 1) / page * page; };
+
+  object_base_ = page;  // keep 0 invalid
+  const std::uint64_t objects_end = object_base_ + n_atoms_ * stride_;
+  soa_base_ = align(objects_end);
+  const std::uint64_t soa_end = soa_base_ + n_atoms_ * 24 * 5;  // 5 Vec3-ish arrays
+  nbr_base_ = align(soa_end);
+  // Generous neighbor capacity: 512 entries per atom.
+  const std::uint64_t nbr_end = nbr_base_ + n_atoms_ * 512 * 4;
+  cell_base_ = align(nbr_end);
+  const std::uint64_t cell_end = cell_base_ + n_atoms_ * 8 + (1u << 16);
+  priv_base_ = align(cell_end);
+  // Up to 64 workers' private force arrays.
+  const std::uint64_t priv_end = priv_base_ + 64ull * n_atoms_ * 24;
+  young_base_ = align(priv_end);
+
+  // The young (temporary) region: a JVM-like fraction of the modelled heap,
+  // at least 1 MiB so the model stays sane for tiny heaps.
+  const auto young = static_cast<std::uint64_t>(config_.young_fraction *
+                                                static_cast<double>(config_.heap_bytes));
+  young_bytes_ = std::max<std::uint64_t>(young, 1ull << 20);
+
+  slot_.resize(static_cast<std::size_t>(n_atoms_));
+  for (std::uint32_t i = 0; i < n_atoms_; ++i) slot_[i] = i;  // creation order
+}
+
+std::uint64_t HeapModel::field_addr(int i, int field) const {
+  MWX_ASSERT(i >= 0 && static_cast<std::uint64_t>(i) < n_atoms_);
+  if (config_.layout == Layout::PackedSoA) {
+    return soa_base_ + (static_cast<std::uint64_t>(field) * n_atoms_ +
+                        static_cast<std::uint64_t>(i)) *
+                           24;
+  }
+  const std::uint64_t base =
+      object_base_ + static_cast<std::uint64_t>(slot_[static_cast<std::size_t>(i)]) * stride_;
+  return base + config_.atom_object_bytes +
+         static_cast<std::uint64_t>(field) * config_.vec3_object_bytes;
+}
+
+std::uint64_t HeapModel::meta_addr(int i) const {
+  MWX_ASSERT(i >= 0 && static_cast<std::uint64_t>(i) < n_atoms_);
+  if (config_.layout == Layout::PackedSoA) {
+    // Scalars live in a packed fifth array lane.
+    return soa_base_ + (4ull * n_atoms_ + static_cast<std::uint64_t>(i)) * 24;
+  }
+  return object_base_ +
+         static_cast<std::uint64_t>(slot_[static_cast<std::size_t>(i)]) * stride_;
+}
+
+std::uint64_t HeapModel::alloc_temp() {
+  ++temp_allocations_;
+  const std::uint64_t addr = young_base_ + young_bump_;
+  young_bump_ += config_.vec3_object_bytes;
+  if (young_bump_ + config_.vec3_object_bytes > young_bytes_) {
+    young_bump_ = 0;
+    ++gc_count_;
+  }
+  return addr;
+}
+
+long long HeapModel::take_new_gcs() {
+  const long long fresh = gc_count_ - reported_gcs_;
+  reported_gcs_ = gc_count_;
+  return fresh;
+}
+
+void HeapModel::reorder(const std::vector<int>& new_order) {
+  require(new_order.size() == slot_.size(), "permutation size mismatch");
+  if (config_.layout != Layout::ReorderedObjects) {
+    // JavaObjects: the memory manager ignores the request (the paper's
+    // observed behaviour).  PackedSoA: arrays are index-addressed; moving
+    // array elements would change physics indices, which reordering of
+    // *objects* does not — so it is also a no-op here.
+    return;
+  }
+  for (std::uint32_t rank = 0; rank < new_order.size(); ++rank) {
+    const int atom = new_order[rank];
+    require(atom >= 0 && static_cast<std::uint64_t>(atom) < n_atoms_, "bad permutation entry");
+    slot_[static_cast<std::size_t>(atom)] = rank;
+  }
+}
+
+}  // namespace mwx::md

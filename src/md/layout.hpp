@@ -1,0 +1,116 @@
+// Heap-layout model: where atom state *would* live in a managed heap.
+//
+// Section V-A's data-packing study hinged on the fact that a Java programmer
+// cannot control object placement: "the Java memory manager prevents direct
+// user control over locating objects in adjacent locations in memory", and
+// existing tools could not even reveal the addresses.  Here the layout is an
+// explicit model that assigns a pseudo-address to every atom field, so the
+// simulator sees exactly the stream a given layout would produce:
+//
+//  * JavaObjects      — one Atom object per atom holding references to four
+//                       separate Vec3 sub-objects (position, velocity,
+//                       acceleration, force), allocated in creation order.
+//  * ReorderedObjects — same object structure, addresses re-assigned by a
+//                       caller-supplied permutation (what the authors *tried*
+//                       to achieve with rapidly successive new() calls).
+//  * PackedSoA        — contiguous per-field arrays (the C/Fortran layout
+//                       Java cannot express).
+//
+// The model also owns the temporary-object allocator: a bump pointer over a
+// young region that wraps with a "garbage collection", reproducing the
+// cache-pollution mechanism of Section V-B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace mwx::md {
+
+enum class Layout { JavaObjects, ReorderedObjects, PackedSoA };
+
+const char* to_string(Layout l);
+
+struct HeapConfig {
+  Layout layout = Layout::JavaObjects;
+  // Total modelled working set (the paper reports ~25 MB per benchmark).
+  std::uint64_t heap_bytes = 25ull << 20;
+  // Modelled Java object sizes: header + fields.
+  std::uint32_t atom_object_bytes = 64;   // Atom object: header + refs + scalars
+  std::uint32_t vec3_object_bytes = 32;   // header + 3 doubles
+  // Fraction of the heap given to the young (allocation) region — the part
+  // short-lived temporaries churn through between collections.
+  double young_fraction = 0.6;
+  // Serial stop-the-world cost charged when the young region wraps.
+  double gc_pause_seconds = 150e-6;
+};
+
+class HeapModel {
+ public:
+  HeapModel(HeapConfig config, int n_atoms);
+
+  [[nodiscard]] const HeapConfig& config() const { return config_; }
+
+  // --- Atom field addresses -------------------------------------------------
+  [[nodiscard]] std::uint64_t pos_addr(int i) const { return field_addr(i, 0); }
+  [[nodiscard]] std::uint64_t vel_addr(int i) const { return field_addr(i, 1); }
+  [[nodiscard]] std::uint64_t acc_addr(int i) const { return field_addr(i, 2); }
+  [[nodiscard]] std::uint64_t force_addr(int i) const { return field_addr(i, 3); }
+  // The Atom object itself (type, charge, flags — read on nearly every use).
+  [[nodiscard]] std::uint64_t meta_addr(int i) const;
+
+  // --- Auxiliary engine arrays (int/flat data even in Java) -----------------
+  [[nodiscard]] std::uint64_t neighbor_entry_addr(std::uint64_t k) const {
+    return nbr_base_ + k * 4;
+  }
+  [[nodiscard]] std::uint64_t cell_entry_addr(std::uint64_t k) const {
+    return cell_base_ + k * 4;
+  }
+  // Per-worker privatized force array entry (contiguous per worker).
+  [[nodiscard]] std::uint64_t private_force_addr(int worker, int i) const {
+    return priv_base_ + (static_cast<std::uint64_t>(worker) * n_atoms_ +
+                         static_cast<std::uint64_t>(i)) *
+                            24;
+  }
+
+  // --- Temporary objects -----------------------------------------------------
+  // Bump-allocates one short-lived Vec3-style object; wrapping the young
+  // region counts as one garbage collection.
+  std::uint64_t alloc_temp();
+  [[nodiscard]] long long temp_allocations() const { return temp_allocations_; }
+  [[nodiscard]] long long gc_count() const { return gc_count_; }
+  // GCs that occurred since the last call (for charging pauses).
+  long long take_new_gcs();
+
+  // Applies a permutation (new_order[k] = old index placed k-th) to the
+  // object addresses.  Under JavaObjects this is a *no-op* — the memory
+  // manager ignores the programmer's intent, which is precisely what the
+  // paper observed ("a strong indicator that the objects were not being
+  // reordered").  Under ReorderedObjects the addresses really move.
+  void reorder(const std::vector<int>& new_order);
+
+  [[nodiscard]] int n_atoms() const { return static_cast<int>(n_atoms_); }
+
+ private:
+  [[nodiscard]] std::uint64_t field_addr(int i, int field) const;
+
+  HeapConfig config_;
+  std::uint64_t n_atoms_;
+  // slot_[i] = allocation-order rank of atom i's object cluster.
+  std::vector<std::uint32_t> slot_;
+  std::uint64_t object_base_ = 0;
+  std::uint64_t stride_ = 0;      // bytes per atom object cluster
+  std::uint64_t soa_base_ = 0;
+  std::uint64_t nbr_base_ = 0;
+  std::uint64_t cell_base_ = 0;
+  std::uint64_t priv_base_ = 0;
+  std::uint64_t young_base_ = 0;
+  std::uint64_t young_bytes_ = 0;
+  std::uint64_t young_bump_ = 0;
+  long long temp_allocations_ = 0;
+  long long gc_count_ = 0;
+  long long reported_gcs_ = 0;
+};
+
+}  // namespace mwx::md

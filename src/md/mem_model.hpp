@@ -1,0 +1,118 @@
+// Memory-model policies for the templated kernels.
+//
+// Every kernel is a template over a `Mem` policy.  NullMem compiles to
+// nothing — the native threaded engine runs pure physics.  TraceMem records
+// the address stream a given heap layout would generate, charges arithmetic
+// costs from the CostTable, and models the Java temporary-object churn; its
+// output feeds the machine simulator.  This is how one set of kernels serves
+// both execution backends with bit-identical physics.
+#pragma once
+
+#include <cstdint>
+
+#include "md/cost_table.hpp"
+#include "md/layout.hpp"
+#include "perf/alloc_tracker.hpp"
+#include "sim/access.hpp"
+
+namespace mwx::md {
+
+enum class TemporariesMode {
+  JavaStyle,  // pair/atom operations allocate short-lived Vec3 objects
+  InPlace,    // arithmetic in locals; no heap churn (the tuned variant)
+};
+
+struct NullMem {
+  static constexpr bool tracing = false;
+  void read_pos(int) {}
+  void read_vel(int) {}
+  void read_acc(int) {}
+  void read_force(int) {}
+  void read_meta(int) {}
+  void write_pos(int) {}
+  void write_vel(int) {}
+  void write_acc(int) {}
+  void write_force(int) {}
+  void read_private_force(int, int) {}
+  void write_private_force(int, int) {}
+  void read_neighbor_entry(std::uint64_t) {}
+  void write_neighbor_entry(std::uint64_t) {}
+  void read_cell_entry(std::uint64_t) {}
+  void compute(double) {}
+  void temps(int) {}
+};
+
+class TraceMem {
+ public:
+  static constexpr bool tracing = true;
+
+  TraceMem(const CostTable& costs, HeapModel& heap, sim::PhaseWork& phase,
+           TemporariesMode temporaries, perf::AllocationTracker* tracker = nullptr,
+           int tracker_type = -1, int worker = 0)
+      : costs_(&costs),
+        heap_(&heap),
+        phase_(&phase),
+        temporaries_(temporaries),
+        tracker_(tracker),
+        tracker_type_(tracker_type),
+        worker_(worker) {}
+
+  // --- Task bracketing -------------------------------------------------------
+  // Opens a SimTask whose accesses accumulate until close_task().
+  void open_task(int owner, int monitor_updates = 0) {
+    task_ = sim::SimTask{};
+    task_.owner = owner;
+    task_.monitor_updates = monitor_updates;
+    task_.access_begin = static_cast<std::uint32_t>(phase_->accesses.size());
+    compute_ = 0.0;
+    worker_ = owner;
+  }
+  void close_task() {
+    task_.access_end = static_cast<std::uint32_t>(phase_->accesses.size());
+    task_.compute_cycles = compute_;
+    phase_->tasks.push_back(task_);
+  }
+
+  // --- Field traffic ----------------------------------------------------------
+  void read_pos(int i) { touch(heap_->pos_addr(i), false); }
+  void read_vel(int i) { touch(heap_->vel_addr(i), false); }
+  void read_acc(int i) { touch(heap_->acc_addr(i), false); }
+  void read_force(int i) { touch(heap_->force_addr(i), false); }
+  void read_meta(int i) { touch(heap_->meta_addr(i), false); }
+  void write_pos(int i) { touch(heap_->pos_addr(i), true); }
+  void write_vel(int i) { touch(heap_->vel_addr(i), true); }
+  void write_acc(int i) { touch(heap_->acc_addr(i), true); }
+  void write_force(int i) { touch(heap_->force_addr(i), true); }
+  void read_private_force(int w, int i) { touch(heap_->private_force_addr(w, i), false); }
+  void write_private_force(int w, int i) { touch(heap_->private_force_addr(w, i), true); }
+  void read_neighbor_entry(std::uint64_t k) { touch(heap_->neighbor_entry_addr(k), false); }
+  void write_neighbor_entry(std::uint64_t k) { touch(heap_->neighbor_entry_addr(k), true); }
+  void read_cell_entry(std::uint64_t k) { touch(heap_->cell_entry_addr(k), false); }
+
+  void compute(double cycles) { compute_ += cycles; }
+
+  // `n` temporaries at this program point (no-op for the in-place variant).
+  void temps(int n) {
+    if (temporaries_ != TemporariesMode::JavaStyle) return;
+    for (int k = 0; k < n; ++k) {
+      touch(heap_->alloc_temp(), true);
+      compute_ += costs_->temp_alloc_cycles;
+      if (tracker_ != nullptr && tracker_type_ >= 0) tracker_->on_alloc(tracker_type_, worker_);
+    }
+  }
+
+ private:
+  void touch(std::uint64_t addr, bool write) { phase_->accesses.push_back({addr, write}); }
+
+  const CostTable* costs_;
+  HeapModel* heap_;
+  sim::PhaseWork* phase_;
+  TemporariesMode temporaries_;
+  perf::AllocationTracker* tracker_;
+  int tracker_type_;
+  int worker_;
+  sim::SimTask task_{};
+  double compute_ = 0.0;
+};
+
+}  // namespace mwx::md

@@ -1,0 +1,30 @@
+#include "md/neighbor_list.hpp"
+
+namespace mwx::md {
+
+NeighborList::NeighborList(int n_atoms, double cutoff, double skin, int capacity_per_atom)
+    : cutoff_(cutoff), skin_(skin), capacity_(capacity_per_atom) {
+  require(n_atoms > 0, "neighbor list needs atoms");
+  require(cutoff > 0.0 && skin >= 0.0, "cutoff/skin must be sane");
+  require(capacity_per_atom > 0, "capacity must be positive");
+  counts_.assign(static_cast<std::size_t>(n_atoms), 0);
+  entries_.assign(static_cast<std::size_t>(n_atoms) * static_cast<std::size_t>(capacity_), 0);
+}
+
+void NeighborList::begin_rebuild(const std::vector<Vec3>& positions) {
+  require(positions.size() == counts_.size(), "atom count changed");
+  ref_pos_ = positions;
+}
+
+bool NeighborList::chunk_exceeds_skin(const std::vector<Vec3>& positions, int begin,
+                                      int end) const {
+  if (!ever_built()) return true;
+  const double limit = 0.5 * skin_;
+  for (int i = begin; i < end; ++i) {
+    const Vec3 d = positions[static_cast<std::size_t>(i)] - ref_pos_[static_cast<std::size_t>(i)];
+    if (d.max_abs_component() > limit) return true;
+  }
+  return false;
+}
+
+}  // namespace mwx::md

@@ -1,0 +1,84 @@
+// Verlet neighbor list with a displacement-triggered rebuild.
+//
+// Half-list convention per the paper (Section II-B): a pair (i, j) is stored
+// on the *lower-indexed* atom, which computes the force once and stores it
+// for both — the source of the index-correlated load variation the paper
+// analyzes.  The list radius is cutoff + skin; the list is invalidated when
+// any atom has moved more than skin/2 in any single dimension since the last
+// rebuild ("when any atom moves in any dimension by more than a threshold
+// value").
+//
+// Storage is fixed-capacity slots per atom so concurrent chunks can build
+// their atoms' lists independently (the fused phase 3+4 runs in parallel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/vec3.hpp"
+
+namespace mwx::md {
+
+class NeighborList {
+ public:
+  NeighborList(int n_atoms, double cutoff, double skin, int capacity_per_atom = 384);
+
+  [[nodiscard]] double reach() const { return cutoff_ + skin_; }
+  [[nodiscard]] double cutoff() const { return cutoff_; }
+  [[nodiscard]] double skin() const { return skin_; }
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int n_atoms() const { return static_cast<int>(counts_.size()); }
+
+  // --- Build ----------------------------------------------------------------
+  // Snapshots reference positions and clears all per-atom lists.  Chunks may
+  // then fill disjoint atoms concurrently via set_neighbors/add_neighbor.
+  void begin_rebuild(const std::vector<Vec3>& positions);
+  void clear_atom(int i) { counts_[static_cast<std::size_t>(i)] = 0; }
+  void add_neighbor(int i, int j) {
+    auto& cnt = counts_[static_cast<std::size_t>(i)];
+    require(cnt < capacity_, "neighbor capacity exceeded; raise capacity_per_atom");
+    entries_[static_cast<std::size_t>(i) * static_cast<std::size_t>(capacity_) +
+             static_cast<std::size_t>(cnt)] = j;
+    ++cnt;
+  }
+  void end_rebuild() { ++rebuild_count_; }
+
+  // --- Query ----------------------------------------------------------------
+  [[nodiscard]] const int* begin(int i) const {
+    return entries_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(capacity_);
+  }
+  [[nodiscard]] const int* end(int i) const { return begin(i) + count(i); }
+  [[nodiscard]] int count(int i) const { return counts_[static_cast<std::size_t>(i)]; }
+  // Global slot index of atom i's k-th neighbor entry (for the layout model).
+  [[nodiscard]] std::uint64_t entry_index(int i, int k) const {
+    return static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(capacity_) +
+           static_cast<std::uint64_t>(k);
+  }
+  [[nodiscard]] std::size_t total_entries() const {
+    std::size_t n = 0;
+    for (int c : counts_) n += static_cast<std::size_t>(c);
+    return n;
+  }
+
+  // True when some atom in [begin, end) has drifted beyond skin/2 in any
+  // dimension since the last rebuild (the per-chunk validity check of
+  // phase 2).
+  [[nodiscard]] bool chunk_exceeds_skin(const std::vector<Vec3>& positions, int begin,
+                                        int end) const;
+
+  [[nodiscard]] long long rebuild_count() const { return rebuild_count_; }
+  [[nodiscard]] bool ever_built() const { return rebuild_count_ > 0; }
+  [[nodiscard]] const std::vector<Vec3>& reference_positions() const { return ref_pos_; }
+
+ private:
+  double cutoff_;
+  double skin_;
+  int capacity_;
+  std::vector<int> counts_;
+  std::vector<int> entries_;  // n_atoms * capacity slots
+  std::vector<Vec3> ref_pos_;
+  long long rebuild_count_ = 0;
+};
+
+}  // namespace mwx::md

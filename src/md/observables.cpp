@@ -1,0 +1,93 @@
+#include "md/observables.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace mwx::md {
+
+double temperature_kelvin(const MolecularSystem& sys) {
+  return units::kinetic_to_kelvin(sys.kinetic_energy(), sys.n_movable());
+}
+
+std::vector<double> radial_distribution(const MolecularSystem& sys, double r_max, int bins) {
+  require(r_max > 0.0 && bins > 0, "rdf needs a positive range and bin count");
+  std::vector<double> histogram(static_cast<std::size_t>(bins), 0.0);
+  const auto& pos = sys.positions();
+  const int n = sys.n_atoms();
+  const double dr = r_max / bins;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double r = distance(pos[static_cast<std::size_t>(i)],
+                                pos[static_cast<std::size_t>(j)]);
+      if (r < r_max) histogram[static_cast<std::size_t>(r / dr)] += 2.0;  // both directions
+    }
+  }
+  // Normalize by the ideal-gas expectation: rho * 4 pi r^2 dr per atom.
+  const Vec3 ext = sys.box().extent();
+  const double volume = ext.x * ext.y * ext.z;
+  const double rho = static_cast<double>(n) / volume;
+  std::vector<double> g(static_cast<std::size_t>(bins), 0.0);
+  for (int b = 0; b < bins; ++b) {
+    const double r_lo = b * dr;
+    const double r_hi = r_lo + dr;
+    const double shell = 4.0 / 3.0 * 3.14159265358979323846 *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double expected = rho * shell * n;
+    g[static_cast<std::size_t>(b)] =
+        expected > 0 ? histogram[static_cast<std::size_t>(b)] / expected : 0.0;
+  }
+  return g;
+}
+
+double mean_squared_displacement(const MolecularSystem& sys,
+                                 const std::vector<Vec3>& reference) {
+  require(reference.size() == sys.positions().size(), "reference size mismatch");
+  double sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    if (!sys.movable(i)) continue;
+    sum += (sys.positions()[static_cast<std::size_t>(i)] -
+            reference[static_cast<std::size_t>(i)])
+               .norm2();
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+void rescale_to_temperature(MolecularSystem& sys, double target_kelvin) {
+  require(target_kelvin >= 0.0, "temperature must be non-negative");
+  const double current = temperature_kelvin(sys);
+  if (current <= 0.0) return;
+  const double scale = std::sqrt(target_kelvin / current);
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    if (sys.movable(i)) sys.velocities()[static_cast<std::size_t>(i)] *= scale;
+  }
+}
+
+double berendsen_step(MolecularSystem& sys, double target_kelvin, double dt_fs,
+                      double tau_fs) {
+  require(tau_fs > 0.0 && dt_fs > 0.0, "coupling times must be positive");
+  const double current = temperature_kelvin(sys);
+  if (current <= 0.0) return 1.0;
+  const double lambda =
+      std::sqrt(std::max(0.0, 1.0 + dt_fs / tau_fs * (target_kelvin / current - 1.0)));
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    if (sys.movable(i)) sys.velocities()[static_cast<std::size_t>(i)] *= lambda;
+  }
+  return lambda;
+}
+
+void write_xyz_frame(std::ostream& os, const MolecularSystem& sys,
+                     const std::string& comment) {
+  os << sys.n_atoms() << '\n' << comment << '\n';
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    const Vec3& p = sys.positions()[static_cast<std::size_t>(i)];
+    os << sys.types().at(sys.type_of(i)).name << ' ' << p.x << ' ' << p.y << ' ' << p.z
+       << '\n';
+  }
+}
+
+}  // namespace mwx::md

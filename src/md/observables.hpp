@@ -1,0 +1,43 @@
+// Physical observables and simple thermostats for analysis and examples:
+// instantaneous temperature, radial distribution function, mean-squared
+// displacement, kinetic-energy control (velocity rescaling and Berendsen
+// coupling), and XYZ trajectory output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "md/system.hpp"
+
+namespace mwx::md {
+
+// Instantaneous temperature in kelvin from the movable atoms' kinetic energy.
+double temperature_kelvin(const MolecularSystem& sys);
+
+// Radial distribution function g(r) over all atom pairs, histogrammed into
+// `bins` shells up to r_max, normalized by the ideal-gas shell expectation
+// for the system's box volume.  g -> 1 for an uncorrelated gas; peaks mark
+// coordination shells.
+std::vector<double> radial_distribution(const MolecularSystem& sys, double r_max, int bins);
+
+// Mean-squared displacement (Å²) of movable atoms relative to reference
+// positions (typically a snapshot taken at t0).
+double mean_squared_displacement(const MolecularSystem& sys,
+                                 const std::vector<Vec3>& reference);
+
+// Multiplies all movable-atom velocities so the temperature becomes exactly
+// `target_kelvin` (hard rescale).
+void rescale_to_temperature(MolecularSystem& sys, double target_kelvin);
+
+// One Berendsen weak-coupling step: velocities scaled by
+// sqrt(1 + dt/tau (T0/T - 1)).  Returns the scale factor applied.
+double berendsen_step(MolecularSystem& sys, double target_kelvin, double dt_fs,
+                      double tau_fs);
+
+// Writes one XYZ frame (element names from the type table).
+void write_xyz_frame(std::ostream& os, const MolecularSystem& sys,
+                     const std::string& comment = "");
+
+}  // namespace mwx::md

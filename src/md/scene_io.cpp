@@ -1,0 +1,152 @@
+#include "md/scene_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace mwx::md {
+
+void save_scene(std::ostream& os, const MolecularSystem& sys) {
+  os << "mws 1\n";
+  os << std::setprecision(17);
+  const Box& box = sys.box();
+  os << "box " << box.lo.x << ' ' << box.lo.y << ' ' << box.lo.z << ' ' << box.hi.x << ' '
+     << box.hi.y << ' ' << box.hi.z << '\n';
+  for (int t = 0; t < sys.types().n(); ++t) {
+    const AtomType& ty = sys.types().at(t);
+    os << "type " << ty.name << ' ' << ty.mass << ' ' << ty.lj_epsilon << ' ' << ty.lj_sigma
+       << '\n';
+  }
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    const Vec3& p = sys.positions()[static_cast<std::size_t>(i)];
+    const Vec3& v = sys.velocities()[static_cast<std::size_t>(i)];
+    os << "atom " << sys.type_of(i) << ' ' << p.x << ' ' << p.y << ' ' << p.z << ' ' << v.x
+       << ' ' << v.y << ' ' << v.z << ' ' << sys.charge(i) << ' ' << (sys.movable(i) ? 1 : 0)
+       << '\n';
+  }
+  for (const RadialBond& b : sys.radial_bonds()) {
+    os << "rbond " << b.a << ' ' << b.b << ' ' << b.k << ' ' << b.r0 << '\n';
+  }
+  for (const AngularBond& b : sys.angular_bonds()) {
+    os << "abond " << b.a << ' ' << b.b << ' ' << b.c << ' ' << b.k << ' ' << b.theta0
+       << '\n';
+  }
+  for (const TorsionBond& b : sys.torsion_bonds()) {
+    os << "tbond " << b.a << ' ' << b.b << ' ' << b.c << ' ' << b.d << ' ' << b.k << ' '
+       << b.n << ' ' << b.phi0 << '\n';
+  }
+}
+
+MolecularSystem load_scene(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw ContractError("scene line " + std::to_string(line_no) + ": " + why);
+  };
+
+  // Header.
+  std::optional<Box> box;
+  AtomTypeTable types;
+  std::optional<MolecularSystem> sys;
+  bool header_seen = false;
+
+  // Atom records must come after box+types; the system is constructed
+  // lazily at the first atom/bond line.
+  auto ensure_system = [&]() -> MolecularSystem& {
+    if (!sys.has_value()) {
+      if (!box.has_value()) fail("atom before box line");
+      if (types.n() == 0) fail("atom before any type line");
+      sys.emplace(types, *box);
+    }
+    return *sys;
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string kind;
+    in >> kind;
+    if (kind == "mws") {
+      int version = 0;
+      if (!(in >> version) || version != 1) fail("unsupported scene version");
+      header_seen = true;
+    } else if (kind == "box") {
+      Box b;
+      if (!(in >> b.lo.x >> b.lo.y >> b.lo.z >> b.hi.x >> b.hi.y >> b.hi.z)) {
+        fail("malformed box");
+      }
+      box = b;
+    } else if (kind == "type") {
+      AtomType t;
+      if (!(in >> t.name >> t.mass >> t.lj_epsilon >> t.lj_sigma)) fail("malformed type");
+      if (sys.has_value()) fail("type after first atom");
+      types.add(std::move(t));
+    } else if (kind == "atom") {
+      int type_id = 0, movable = 1;
+      Vec3 p, v;
+      double q = 0.0;
+      if (!(in >> type_id >> p.x >> p.y >> p.z >> v.x >> v.y >> v.z >> q >> movable)) {
+        fail("malformed atom");
+      }
+      try {
+        ensure_system().add_atom(type_id, p, v, q, movable != 0);
+      } catch (const ContractError& e) {
+        fail(e.what());
+      }
+    } else if (kind == "rbond") {
+      RadialBond b;
+      if (!(in >> b.a >> b.b >> b.k >> b.r0)) fail("malformed rbond");
+      try {
+        ensure_system().add_radial_bond(b);
+      } catch (const ContractError& e) {
+        fail(e.what());
+      }
+    } else if (kind == "abond") {
+      AngularBond b;
+      if (!(in >> b.a >> b.b >> b.c >> b.k >> b.theta0)) fail("malformed abond");
+      try {
+        ensure_system().add_angular_bond(b);
+      } catch (const ContractError& e) {
+        fail(e.what());
+      }
+    } else if (kind == "tbond") {
+      TorsionBond b;
+      if (!(in >> b.a >> b.b >> b.c >> b.d >> b.k >> b.n >> b.phi0)) fail("malformed tbond");
+      try {
+        ensure_system().add_torsion_bond(b);
+      } catch (const ContractError& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown record '" + kind + "'");
+    }
+  }
+  if (!header_seen) {
+    line_no = 0;
+    fail("missing 'mws 1' header");
+  }
+  if (!sys.has_value()) {
+    line_no = 0;
+    fail("scene contains no atoms");
+  }
+  return std::move(*sys);
+}
+
+void save_scene_file(const std::string& path, const MolecularSystem& sys) {
+  std::ofstream out(path);
+  require(out.good(), "cannot open scene file for writing: " + path);
+  save_scene(out, sys);
+  require(out.good(), "failed writing scene file: " + path);
+}
+
+MolecularSystem load_scene_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open scene file: " + path);
+  return load_scene(in);
+}
+
+}  // namespace mwx::md

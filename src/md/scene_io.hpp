@@ -1,0 +1,39 @@
+// Scene (de)serialization — the role of MW's scene files.
+//
+// Molecular Workbench loads its simulations from scene documents; this
+// module provides the equivalent for the reproduction: a small line-based
+// text format (".mws") that round-trips a MolecularSystem exactly —
+// species, box, atoms (position/velocity/charge/mobility) and all three
+// bond orders.
+//
+//   mws 1
+//   box <lo.x> <lo.y> <lo.z> <hi.x> <hi.y> <hi.z>
+//   type <name> <mass> <lj_epsilon_internal> <lj_sigma>
+//   atom <type_id> <x> <y> <z> <vx> <vy> <vz> <charge> <movable>
+//   rbond <a> <b> <k> <r0>
+//   abond <a> <b> <c> <k> <theta0>
+//   tbond <a> <b> <c> <d> <k> <n> <phi0>
+//
+// Lines beginning with '#' are comments.  Numbers are written with full
+// round-trip precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "md/system.hpp"
+
+namespace mwx::md {
+
+// Writes `sys` in .mws form.
+void save_scene(std::ostream& os, const MolecularSystem& sys);
+
+// Parses an .mws stream; throws ContractError with a line number on
+// malformed input.
+MolecularSystem load_scene(std::istream& is);
+
+// File-path conveniences.
+void save_scene_file(const std::string& path, const MolecularSystem& sys);
+MolecularSystem load_scene_file(const std::string& path);
+
+}  // namespace mwx::md

@@ -1,0 +1,73 @@
+#include "md/system.hpp"
+
+#include <cmath>
+
+namespace mwx::md {
+
+int MolecularSystem::add_atom(int type, const Vec3& position, const Vec3& velocity,
+                              double charge, bool movable) {
+  require(type >= 0 && type < types_.n(), "unknown atom type");
+  require(position.x >= box_.lo.x && position.x <= box_.hi.x && position.y >= box_.lo.y &&
+              position.y <= box_.hi.y && position.z >= box_.lo.z && position.z <= box_.hi.z,
+          "atom placed outside the box");
+  const int i = n_atoms();
+  pos_.push_back(position);
+  vel_.push_back(movable ? velocity : Vec3{});
+  acc_.push_back({});
+  const double m = types_.at(type).mass;
+  mass_.push_back(m);
+  inv_mass_.push_back(movable ? 1.0 / m : 0.0);
+  charge_.push_back(charge);
+  type_.push_back(type);
+  movable_.push_back(movable ? 1 : 0);
+  if (charge != 0.0) charged_.push_back(i);
+  if (movable) ++n_movable_;
+  return i;
+}
+
+void MolecularSystem::add_radial_bond(RadialBond b) {
+  require(b.a >= 0 && b.a < n_atoms() && b.b >= 0 && b.b < n_atoms() && b.a != b.b,
+          "radial bond indices invalid");
+  exclusions_.insert(pair_key(b.a, b.b));
+  radial_.push_back(b);
+}
+
+void MolecularSystem::add_angular_bond(AngularBond b) {
+  require(b.a >= 0 && b.a < n_atoms() && b.b >= 0 && b.b < n_atoms() && b.c >= 0 &&
+              b.c < n_atoms() && b.a != b.b && b.b != b.c && b.a != b.c,
+          "angular bond indices invalid");
+  angular_.push_back(b);
+}
+
+void MolecularSystem::add_torsion_bond(TorsionBond b) {
+  require(b.a >= 0 && b.a < n_atoms() && b.b >= 0 && b.b < n_atoms() && b.c >= 0 &&
+              b.c < n_atoms() && b.d >= 0 && b.d < n_atoms(),
+          "torsion bond indices invalid");
+  torsion_.push_back(b);
+}
+
+double MolecularSystem::lj_epsilon(int ti, int tj) const {
+  return std::sqrt(types_.at(ti).lj_epsilon * types_.at(tj).lj_epsilon);
+}
+
+double MolecularSystem::lj_sigma(int ti, int tj) const {
+  return 0.5 * (types_.at(ti).lj_sigma + types_.at(tj).lj_sigma);
+}
+
+Vec3 MolecularSystem::total_momentum() const {
+  Vec3 p;
+  for (int i = 0; i < n_atoms(); ++i) {
+    if (movable(i)) p += vel_[static_cast<std::size_t>(i)] * mass(i);
+  }
+  return p;
+}
+
+double MolecularSystem::kinetic_energy() const {
+  double ke = 0.0;
+  for (int i = 0; i < n_atoms(); ++i) {
+    if (movable(i)) ke += 0.5 * mass(i) * vel_[static_cast<std::size_t>(i)].norm2();
+  }
+  return ke;
+}
+
+}  // namespace mwx::md

@@ -1,0 +1,107 @@
+// MolecularSystem — atoms, species, bonds and the simulation box.
+//
+// Atom state is stored SoA for the C++ engine; how the *modelled Java heap*
+// lays the same state out is a separate concern (md/layout.hpp), so the
+// physics is identical across layout experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/vec3.hpp"
+#include "md/types.hpp"
+
+namespace mwx::md {
+
+// Axis-aligned box with reflective walls (Molecular Workbench confines its
+// scene to a box; we reflect rather than wrap).
+struct Box {
+  Vec3 lo{0, 0, 0};
+  Vec3 hi{10, 10, 10};
+  [[nodiscard]] Vec3 extent() const { return hi - lo; }
+};
+
+class MolecularSystem {
+ public:
+  MolecularSystem(AtomTypeTable types, Box box) : types_(std::move(types)), box_(box) {}
+
+  // Appends an atom; returns its index.  `movable=false` marks fixed
+  // scaffolding like nanocar's gold platform (excluded from integration and
+  // from platform-platform force pairs).
+  int add_atom(int type, const Vec3& position, const Vec3& velocity = {}, double charge = 0.0,
+               bool movable = true);
+
+  void add_radial_bond(RadialBond b);
+  void add_angular_bond(AngularBond b);
+  void add_torsion_bond(TorsionBond b);
+
+  [[nodiscard]] int n_atoms() const { return static_cast<int>(pos_.size()); }
+  [[nodiscard]] int n_charged() const { return static_cast<int>(charged_.size()); }
+  [[nodiscard]] int n_movable() const { return n_movable_; }
+
+  [[nodiscard]] const Box& box() const { return box_; }
+  [[nodiscard]] const AtomTypeTable& types() const { return types_; }
+
+  [[nodiscard]] const std::vector<Vec3>& positions() const { return pos_; }
+  [[nodiscard]] std::vector<Vec3>& positions() { return pos_; }
+  [[nodiscard]] const std::vector<Vec3>& velocities() const { return vel_; }
+  [[nodiscard]] std::vector<Vec3>& velocities() { return vel_; }
+  [[nodiscard]] const std::vector<Vec3>& accelerations() const { return acc_; }
+  [[nodiscard]] std::vector<Vec3>& accelerations() { return acc_; }
+
+  [[nodiscard]] double mass(int i) const { return mass_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] double inv_mass(int i) const { return inv_mass_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] double charge(int i) const { return charge_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int type_of(int i) const { return type_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] bool movable(int i) const { return movable_[static_cast<std::size_t>(i)] != 0; }
+
+  // Indices of charged atoms, ascending — the Coulomb loop's working list.
+  [[nodiscard]] const std::vector<int>& charged_indices() const { return charged_; }
+
+  [[nodiscard]] const std::vector<RadialBond>& radial_bonds() const { return radial_; }
+  [[nodiscard]] const std::vector<AngularBond>& angular_bonds() const { return angular_; }
+  [[nodiscard]] const std::vector<TorsionBond>& torsion_bonds() const { return torsion_; }
+  [[nodiscard]] int n_bonds_total() const {
+    return static_cast<int>(radial_.size() + angular_.size() + torsion_.size());
+  }
+
+  // True when (i, j) are directly bonded and therefore excluded from the
+  // non-bonded LJ interaction (standard MD exclusion rule; keeps bonded
+  // systems like nanocar genuinely bond-dominated).
+  [[nodiscard]] bool excluded(int i, int j) const {
+    return !exclusions_.empty() && exclusions_.count(pair_key(i, j)) > 0;
+  }
+
+  // Combined LJ parameters for a type pair (Lorentz–Berthelot mixing).
+  [[nodiscard]] double lj_epsilon(int ti, int tj) const;
+  [[nodiscard]] double lj_sigma(int ti, int tj) const;
+
+  // Total momentum (movable atoms) — a conserved quantity in a wall-free run.
+  [[nodiscard]] Vec3 total_momentum() const;
+  [[nodiscard]] double kinetic_energy() const;
+
+ private:
+  static std::uint64_t pair_key(int i, int j) {
+    const std::uint64_t lo = static_cast<std::uint64_t>(i < j ? i : j);
+    const std::uint64_t hi = static_cast<std::uint64_t>(i < j ? j : i);
+    return (lo << 32) | hi;
+  }
+
+  AtomTypeTable types_;
+  Box box_;
+  std::unordered_set<std::uint64_t> exclusions_;
+  std::vector<Vec3> pos_, vel_, acc_;
+  std::vector<double> mass_, inv_mass_, charge_;
+  std::vector<int> type_;
+  std::vector<char> movable_;
+  std::vector<int> charged_;
+  std::vector<RadialBond> radial_;
+  std::vector<AngularBond> angular_;
+  std::vector<TorsionBond> torsion_;
+  int n_movable_ = 0;
+};
+
+}  // namespace mwx::md

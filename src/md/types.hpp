@@ -1,0 +1,61 @@
+// Atom species table and bonded-interaction records.
+//
+// Bond records hold *indices* into the atom store — the indirect (A[B[i]])
+// indexing that makes the application irregular (paper abstract, §II-B:
+// bond force equations "exhibit indirect and therefore irregular indexing
+// into the atom array" and "can involve up to four atoms").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace mwx::md {
+
+struct AtomType {
+  std::string name;
+  double mass = 1.0;        // amu
+  double lj_epsilon = 0.0;  // internal energy units
+  double lj_sigma = 1.0;    // Å
+};
+
+class AtomTypeTable {
+ public:
+  int add(AtomType t) {
+    types_.push_back(std::move(t));
+    return static_cast<int>(types_.size()) - 1;
+  }
+  [[nodiscard]] const AtomType& at(int id) const {
+    require(id >= 0 && id < n(), "atom type id out of range");
+    return types_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int n() const { return static_cast<int>(types_.size()); }
+
+ private:
+  std::vector<AtomType> types_;
+};
+
+// Harmonic two-body bond: V = 1/2 k (r - r0)^2.
+struct RadialBond {
+  int a = 0, b = 0;
+  double k = 0.0;   // internal energy / Å^2
+  double r0 = 0.0;  // Å
+};
+
+// Harmonic three-body angle at vertex b: V = 1/2 k (theta - theta0)^2.
+struct AngularBond {
+  int a = 0, b = 0, c = 0;
+  double k = 0.0;       // internal energy / rad^2
+  double theta0 = 0.0;  // rad
+};
+
+// Cosine four-body torsion around b-c: V = k (1 + cos(n*phi - phi0)).
+struct TorsionBond {
+  int a = 0, b = 0, c = 0, d = 0;
+  double k = 0.0;
+  int n = 1;
+  double phi0 = 0.0;
+};
+
+}  // namespace mwx::md

@@ -1,0 +1,61 @@
+#include "parallel/affinity.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace mwx::parallel {
+
+bool pin_current_thread(const topo::CpuSet& mask) {
+#if defined(__linux__)
+  if (mask.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const int limit = online_pus();
+  bool any = false;
+  for (int pu = mask.first(); pu >= 0; pu = mask.next(pu)) {
+    if (pu < limit) {
+      CPU_SET(pu, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof set, &set) == 0;
+#else
+  (void)mask;
+  return false;
+#endif
+}
+
+bool pin_current_thread_to(int pu) { return pin_current_thread(topo::CpuSet::of({pu})); }
+
+int current_cpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+topo::CpuSet current_affinity() {
+  topo::CpuSet mask;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof set, &set) == 0) {
+    for (int pu = 0; pu < topo::CpuSet::kMaxPus && pu < CPU_SETSIZE; ++pu) {
+      if (CPU_ISSET(pu, &set)) mask.set(pu);
+    }
+  }
+#endif
+  return mask;
+}
+
+int online_pus() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace mwx::parallel

@@ -1,0 +1,29 @@
+// Thread→core binding.
+//
+// Pure Java had no pinning API; the paper's authors wrote a C wrapper around
+// sched_setaffinity and called it via JNI (Section V-B).  Here the wrapper
+// is first-class.  On hosts where affinity control is unavailable (or the
+// requested PUs do not exist) the functions report failure rather than
+// throwing, because pinning is an optimization, never a correctness need.
+#pragma once
+
+#include "topo/cpuset.hpp"
+
+namespace mwx::parallel {
+
+// Binds the calling thread to the PUs in `mask`.  Returns true on success.
+bool pin_current_thread(const topo::CpuSet& mask);
+
+// Convenience: bind to a single PU.
+bool pin_current_thread_to(int pu);
+
+// Logical CPU currently executing the calling thread, or -1 if unknown.
+int current_cpu();
+
+// Affinity mask of the calling thread (empty on failure).
+topo::CpuSet current_affinity();
+
+// Number of PUs the OS exposes to this process.
+int online_pus();
+
+}  // namespace mwx::parallel

@@ -1,0 +1,62 @@
+// CyclicBarrier — reusable phase barrier in the java.util.concurrent style.
+// The MW parallelization synchronizes "between threads ... by simple
+// barriers" (Section I); one barrier separates each of the six timestep
+// phases.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/require.hpp"
+
+namespace mwx::parallel {
+
+class CyclicBarrier {
+ public:
+  // `parties` threads must call arrive_and_wait() before any proceeds.
+  // `on_trip`, if provided, runs once per generation in the last-arriving
+  // thread before the others are released (like Java's barrierAction).
+  explicit CyclicBarrier(int parties, std::function<void()> on_trip = {})
+      : parties_(parties), waiting_(0), on_trip_(std::move(on_trip)) {
+    require(parties > 0, "barrier needs at least one party");
+  }
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  // Returns the arrival index within this generation (parties-1 .. 0), with 0
+  // meaning "last to arrive", matching Java's CyclicBarrier#await contract.
+  int arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t gen = generation_;
+    const int arrival = parties_ - ++waiting_;
+    if (waiting_ == parties_) {
+      if (on_trip_) on_trip_();
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+    return arrival;
+  }
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+  [[nodiscard]] std::uint64_t generation() const {
+    std::lock_guard lock(mutex_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  const int parties_;
+  int waiting_;
+  std::uint64_t generation_ = 0;
+  std::function<void()> on_trip_;
+};
+
+}  // namespace mwx::parallel

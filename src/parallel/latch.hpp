@@ -1,0 +1,48 @@
+// CountDownLatch — mirror of java.util.concurrent.CountDownLatch, the
+// primitive parallel MW uses for a thread to signal phase-work completion
+// (Section II-B: "the thread ... decrements a countdown latch so the program
+// knows when all work in the phase is complete").
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/require.hpp"
+
+namespace mwx::parallel {
+
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int count) : count_(count) {
+    require(count >= 0, "latch count must be non-negative");
+  }
+
+  CountDownLatch(const CountDownLatch&) = delete;
+  CountDownLatch& operator=(const CountDownLatch&) = delete;
+
+  // Decrements the count; wakes waiters when it reaches zero.  Decrementing
+  // below zero is a contract violation.
+  void count_down() {
+    std::lock_guard lock(mutex_);
+    require(count_ > 0, "count_down below zero");
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  // Blocks until the count reaches zero.
+  void await() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  [[nodiscard]] int count() const {
+    std::lock_guard lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+}  // namespace mwx::parallel

@@ -1,0 +1,83 @@
+// Blocking MPMC work queue backing the thread pool.
+//
+// Parallel MW used both a single shared queue ("all threads are contending
+// for access to that single resource") and one queue per thread
+// (Section II-B).  The pool supports both configurations; the queue itself
+// is a plain mutex-protected deque, faithful to the Java implementation's
+// behaviour rather than a lock-free design.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace mwx::parallel {
+
+using Task = std::function<void()>;
+
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  // Enqueues a task.  Returns false when the queue is closed.
+  bool push(Task task) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks for a task; returns nullopt once the queue is closed and drained.
+  std::optional<Task> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+    if (tasks_.empty()) return std::nullopt;
+    Task t = std::move(tasks_.front());
+    tasks_.pop_front();
+    return t;
+  }
+
+  // Non-blocking variant used by work-stealing helpers and tests.
+  std::optional<Task> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return std::nullopt;
+    Task t = std::move(tasks_.front());
+    tasks_.pop_front();
+    return t;
+  }
+
+  // Closes the queue: pending tasks still drain, new pushes fail, blocked
+  // poppers wake with nullopt when empty.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return tasks_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace mwx::parallel

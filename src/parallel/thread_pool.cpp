@@ -1,0 +1,89 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+
+#include "common/require.hpp"
+
+namespace mwx::parallel {
+
+namespace {
+thread_local int t_worker_index = -1;
+}
+
+FixedThreadPool::FixedThreadPool(ThreadPoolConfig config) : config_(std::move(config)) {
+  require(config_.n_threads > 0, "pool needs at least one thread");
+  const int n_queues = config_.queue_mode == QueueMode::Single ? 1 : config_.n_threads;
+  queues_.reserve(static_cast<std::size_t>(n_queues));
+  for (int i = 0; i < n_queues; ++i) queues_.push_back(std::make_unique<TaskQueue>());
+  threads_.reserve(static_cast<std::size_t>(config_.n_threads));
+  for (int i = 0; i < config_.n_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+FixedThreadPool::~FixedThreadPool() { shutdown(); }
+
+TaskQueue& FixedThreadPool::queue_for(int worker) {
+  return config_.queue_mode == QueueMode::Single ? *queues_.front()
+                                                 : *queues_[static_cast<std::size_t>(worker)];
+}
+
+void FixedThreadPool::submit(Task task) {
+  int target = 0;
+  if (config_.queue_mode == QueueMode::PerThread) {
+    target = round_robin_.fetch_add(1, std::memory_order_relaxed) % config_.n_threads;
+  }
+  submit_to(target, std::move(task));
+}
+
+void FixedThreadPool::submit_to(int worker, Task task) {
+  require(worker >= 0 && worker < config_.n_threads, "worker index out of range");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const bool ok = queue_for(worker).push(std::move(task));
+  require(ok, "submit after shutdown");
+}
+
+void FixedThreadPool::worker_main(int index) {
+  t_worker_index = index;
+  if (!config_.pin_masks.empty()) {
+    pin_current_thread(config_.pin_masks[static_cast<std::size_t>(index) %
+                                         config_.pin_masks.size()]);
+  }
+  TaskQueue& q = queue_for(index);
+  while (auto task = q.pop()) {
+    try {
+      (*task)();
+    } catch (...) {
+      // A throwing task must not kill the worker (the pool outlives any one
+      // task, like an ExecutorService).  The failure is counted and the
+      // pool keeps serving.
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    completed_.fetch_add(1, std::memory_order_release);
+    // Lock-then-notify so a quiescing thread between its predicate check and
+    // wait() cannot miss the wakeup.
+    { std::lock_guard lock(quiesce_mutex_); }
+    quiesce_cv_.notify_all();
+  }
+}
+
+void FixedThreadPool::quiesce() {
+  std::unique_lock lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) ==
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void FixedThreadPool::shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& q : queues_) q->close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+int FixedThreadPool::current_worker() { return t_worker_index; }
+
+}  // namespace mwx::parallel

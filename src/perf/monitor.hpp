@@ -1,0 +1,105 @@
+// Application-level performance monitors.
+//
+// JamonMonitor reproduces the Java Application Monitor's design: named
+// start/stop counters whose updates are guarded by one global lock
+// ("synchronized sections").  Section IV-A found that these synchronized
+// updates *serialized* parallel MW — the first observer effect.  The
+// monitor is kept deliberately faithful (one mutex for the whole registry)
+// so the effect is measurable; ShardedMonitor is the corrected design with
+// per-thread shards that are only merged at read time.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace mwx::perf {
+
+struct MonitorSnapshot {
+  std::string key;
+  long long hits = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  [[nodiscard]] double mean_seconds() const {
+    return hits > 0 ? total_seconds / static_cast<double>(hits) : 0.0;
+  }
+};
+
+// Faithful JaMON-style monitor: every add() takes the registry lock.
+class JamonMonitor {
+ public:
+  // Records one interval under `key`.  Thread-safe via a single global
+  // mutex, exactly the serializing behaviour the paper measured.
+  void add(const std::string& key, double seconds) {
+    std::lock_guard lock(mutex_);
+    auto& s = stats_[key];
+    s.add(seconds);
+  }
+
+  [[nodiscard]] std::vector<MonitorSnapshot> snapshot() const {
+    std::lock_guard lock(mutex_);
+    std::vector<MonitorSnapshot> out;
+    out.reserve(stats_.size());
+    for (const auto& [key, s] : stats_) {
+      out.push_back({key, s.count(), s.sum(), s.min(), s.max()});
+    }
+    return out;
+  }
+
+  [[nodiscard]] long long total_hits() const {
+    std::lock_guard lock(mutex_);
+    long long n = 0;
+    for (const auto& [key, s] : stats_) n += s.count();
+    return n;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RunningStats> stats_;
+};
+
+// Contention-free variant: each thread owns a shard keyed by (thread, key);
+// shards are merged only when a snapshot is requested.
+class ShardedMonitor {
+ public:
+  explicit ShardedMonitor(int n_threads) : shards_(static_cast<std::size_t>(n_threads)) {}
+
+  // Records one interval from `thread` (0-based worker index).  No
+  // synchronization on the hot path.
+  void add(int thread, const std::string& key, double seconds) {
+    shards_[static_cast<std::size_t>(thread)].stats[key].add(seconds);
+  }
+
+  [[nodiscard]] std::vector<MonitorSnapshot> snapshot() const {
+    std::map<std::string, MonitorSnapshot> merged;
+    for (const auto& shard : shards_) {
+      for (const auto& [key, s] : shard.stats) {
+        auto& m = merged[key];
+        if (m.key.empty()) {
+          m = {key, s.count(), s.sum(), s.min(), s.max()};
+        } else {
+          m.hits += s.count();
+          m.total_seconds += s.sum();
+          m.min_seconds = std::min(m.min_seconds, s.min());
+          m.max_seconds = std::max(m.max_seconds, s.max());
+        }
+      }
+    }
+    std::vector<MonitorSnapshot> out;
+    out.reserve(merged.size());
+    for (auto& [key, m] : merged) out.push_back(std::move(m));
+    return out;
+  }
+
+ private:
+  struct alignas(64) Shard {  // cache-line aligned to avoid false sharing
+    std::map<std::string, RunningStats> stats;
+  };
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mwx::perf

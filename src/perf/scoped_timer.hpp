@@ -1,0 +1,39 @@
+// Wall-clock timing helpers for the native runtime.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+namespace mwx::perf {
+
+class StopWatch {
+ public:
+  StopWatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Calls `sink(elapsed_seconds)` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::function<void(double)> sink) : sink_(std::move(sink)) {}
+  ~ScopedTimer() {
+    if (sink_) sink_(watch_.elapsed_seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::function<void(double)> sink_;
+  StopWatch watch_;
+};
+
+}  // namespace mwx::perf

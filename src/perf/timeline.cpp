@@ -1,0 +1,117 @@
+#include "perf/timeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace mwx::perf {
+
+std::vector<int> TimelineView::tags_at(const EventLog& log, double t) {
+  std::vector<int> tags(static_cast<std::size_t>(log.n_threads()), -1);
+  for (int th = 0; th < log.n_threads(); ++th) {
+    const Event* e = log.at(th, t);
+    if (e != nullptr) tags[static_cast<std::size_t>(th)] = e->tag;
+  }
+  return tags;
+}
+
+char TimelineView::symbol_of(int tag) const {
+  if (tag < 0) return '.';
+  const auto it = tag_symbols_.find(tag);
+  return it != tag_symbols_.end() ? it->second : '?';
+}
+
+std::vector<std::string> TimelineView::rows_exact(const EventLog& log, double t0, double t1,
+                                                  int buckets) const {
+  require(buckets > 0 && t1 > t0, "timeline window must be non-empty");
+  const double dt = (t1 - t0) / buckets;
+  std::vector<std::string> rows;
+  for (int th = 0; th < log.n_threads(); ++th) {
+    std::string row(static_cast<std::size_t>(buckets), '.');
+    // Accumulate per-bucket occupancy per tag.
+    std::vector<std::map<int, double>> share(static_cast<std::size_t>(buckets));
+    for (const Event& e : log.events_of(th)) {
+      if (e.end <= t0 || e.begin >= t1) continue;
+      const int b_first = std::max(0, static_cast<int>((e.begin - t0) / dt));
+      const int b_last = std::min(buckets - 1, static_cast<int>((e.end - t0) / dt));
+      for (int b = b_first; b <= b_last; ++b) {
+        const double lo = t0 + b * dt;
+        const double overlap = std::min(e.end, lo + dt) - std::max(e.begin, lo);
+        if (overlap > 0) share[static_cast<std::size_t>(b)][e.tag] += overlap;
+      }
+    }
+    for (int b = 0; b < buckets; ++b) {
+      double best = 0.0;
+      int tag = -1;
+      for (const auto& [t, s] : share[static_cast<std::size_t>(b)]) {
+        if (s > best) {
+          best = s;
+          tag = t;
+        }
+      }
+      if (best > 0.5 * dt) row[static_cast<std::size_t>(b)] = symbol_of(tag);
+      else if (best > 0.0) row[static_cast<std::size_t>(b)] =
+          symbol_of(tag) == '.' ? '.' : static_cast<char>(std::tolower(symbol_of(tag)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::string> TimelineView::rows_sampled(const EventLog& log, double t0, double t1,
+                                                    int buckets,
+                                                    double period_seconds) const {
+  require(period_seconds > 0, "sampling period must be positive");
+  const double dt = (t1 - t0) / buckets;
+  std::vector<std::string> rows;
+  for (int th = 0; th < log.n_threads(); ++th) {
+    std::string row(static_cast<std::size_t>(buckets), '.');
+    for (int b = 0; b < buckets; ++b) {
+      // State displayed at bucket center = state sampled at the latest
+      // sample instant before it (sample-and-hold).
+      const double t = t0 + (b + 0.5) * dt;
+      const double sample_t = t0 + std::floor((t - t0) / period_seconds) * period_seconds;
+      const Event* e = log.at(th, sample_t);
+      row[static_cast<std::size_t>(b)] = e != nullptr ? symbol_of(e->tag) : '.';
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string TimelineView::join_rows(const std::vector<std::string>& rows) {
+  std::ostringstream os;
+  for (std::size_t th = 0; th < rows.size(); ++th) {
+    os << "  thread " << th << " |" << rows[th] << "|\n";
+  }
+  return os.str();
+}
+
+std::string TimelineView::render(const EventLog& log, double t0, double t1,
+                                 int buckets) const {
+  return join_rows(rows_exact(log, t0, t1, buckets));
+}
+
+std::string TimelineView::render_sampled(const EventLog& log, double t0, double t1,
+                                         int buckets, double period_seconds) const {
+  return join_rows(rows_sampled(log, t0, t1, buckets, period_seconds));
+}
+
+double TimelineView::sampled_disagreement(const EventLog& log, double t0, double t1,
+                                          int buckets, double period_seconds) const {
+  const auto exact = rows_exact(log, t0, t1, buckets);
+  const auto sampled = rows_sampled(log, t0, t1, buckets, period_seconds);
+  long long cells = 0, wrong = 0;
+  for (std::size_t th = 0; th < exact.size(); ++th) {
+    for (std::size_t b = 0; b < exact[th].size(); ++b) {
+      ++cells;
+      if (std::toupper(exact[th][b]) != std::toupper(sampled[th][b])) ++wrong;
+    }
+  }
+  return cells > 0 ? static_cast<double>(wrong) / static_cast<double>(cells) : 0.0;
+}
+
+}  // namespace mwx::perf

@@ -1,0 +1,50 @@
+// Memory-access vocabulary shared between the MD engine's trace capture and
+// the machine simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mwx::sim {
+
+// One cache-line-granular touch.  The engine emits at most one Access per
+// logical field read/write; addresses come from the heap-layout model, so a
+// "Java objects" layout and a packed SoA layout produce different streams
+// for identical physics.
+struct Access {
+  std::uint64_t addr = 0;
+  bool write = false;
+};
+
+// A schedulable unit of work: a contiguous slice of a phase's access stream
+// plus the arithmetic cost interleaved with it.  One SimTask corresponds to
+// one work-queue entry in the paper's executor (a 1/N chunk of atoms by
+// default, finer when dynamic balancing is being studied).
+struct SimTask {
+  int owner = -1;              // static-assignment hint; -1 = round-robin
+  double compute_cycles = 0.0;
+  std::uint32_t access_begin = 0;  // range into the phase access pool
+  std::uint32_t access_end = 0;
+  int monitor_updates = 0;     // JaMON-style synchronized updates to charge
+};
+
+enum class Assignment {
+  Static,       // task i pre-assigned to its owner's private queue
+  SharedQueue,  // threads pull the next task from one contended queue
+};
+
+// A phase ready for simulation: tasks plus their shared access pool.
+struct PhaseWork {
+  int tag = 0;                 // phase id for the event log
+  Assignment assignment = Assignment::Static;
+  std::vector<SimTask> tasks;
+  std::vector<Access> accesses;
+
+  void clear() {
+    tasks.clear();
+    accesses.clear();
+  }
+};
+
+}  // namespace mwx::sim

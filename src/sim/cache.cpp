@@ -1,0 +1,83 @@
+#include "sim/cache.hpp"
+
+namespace mwx::sim {
+
+SetAssocCache::SetAssocCache(std::int64_t size_bytes, int line_bytes, int associativity)
+    : line_bytes_(line_bytes), ways_(associativity) {
+  require(size_bytes > 0 && line_bytes > 0 && associativity > 0, "cache geometry must be positive");
+  const std::int64_t lines = size_bytes / line_bytes;
+  require(lines >= associativity, "cache smaller than one set");
+  n_sets_ = static_cast<int>(lines / associativity);
+  ways_storage_.resize(static_cast<std::size_t>(n_sets_) * static_cast<std::size_t>(ways_));
+}
+
+SetAssocCache::LookupResult SetAssocCache::access(std::uint64_t addr, bool write) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t base = set_index(line) * static_cast<std::size_t>(ways_);
+  ++tick_;
+
+  LookupResult result;
+  int lru_way = 0;
+  std::uint32_t lru_tick = ~0U;
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.tag == line) {
+      way.lru = tick_;
+      way.dirty = way.dirty || write;
+      ++stats_.hits;
+      result.hit = true;
+      return result;
+    }
+    if (!way.valid) {
+      lru_way = w;
+      lru_tick = 0;  // prefer invalid ways
+    } else if (way.lru < lru_tick) {
+      lru_tick = way.lru;
+      lru_way = w;
+    }
+  }
+
+  ++stats_.misses;
+  Way& victim = ways_storage_[base + static_cast<std::size_t>(lru_way)];
+  if (victim.valid) {
+    result.evicted_valid = true;
+    result.victim_line = victim.tag;
+    if (victim.dirty) {
+      result.evicted_dirty = true;
+      ++stats_.dirty_evictions;
+    }
+  }
+  victim.valid = true;
+  victim.tag = line;
+  victim.dirty = write;
+  victim.lru = tick_;
+  return result;
+}
+
+void SetAssocCache::invalidate_line(std::uint64_t line_addr) {
+  const std::size_t base = set_index(line_addr) * static_cast<std::size_t>(ways_);
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.tag == line_addr) {
+      way.valid = false;
+      way.dirty = false;
+      return;
+    }
+  }
+}
+
+void SetAssocCache::flush() {
+  for (auto& w : ways_storage_) w = Way{};
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t base = set_index(line) * static_cast<std::size_t>(ways_);
+  for (int w = 0; w < ways_; ++w) {
+    const Way& way = ways_storage_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.tag == line) return true;
+  }
+  return false;
+}
+
+}  // namespace mwx::sim

@@ -1,0 +1,95 @@
+#include "topo/machine_spec.hpp"
+
+namespace mwx::topo {
+
+namespace {
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * kKiB;
+constexpr std::int64_t kGiB = 1024 * kMiB;
+}  // namespace
+
+MachineSpec core_i7_920() {
+  MachineSpec m;
+  m.name = "core-i7-920";
+  m.processor = "Intel Core i7 920";
+  m.packages = 1;
+  m.cores_per_package = 4;
+  m.smt_per_core = 2;
+  m.ghz = 2.66;
+  m.caches = {
+      {.level = 1, .size_bytes = 32 * kKiB, .line_bytes = 64, .associativity = 8,
+       .pus_per_instance = 2, .hit_latency_cycles = 4.0},
+      {.level = 2, .size_bytes = 256 * kKiB, .line_bytes = 64, .associativity = 8,
+       .pus_per_instance = 2, .hit_latency_cycles = 11.0},
+      {.level = 3, .size_bytes = 8 * kMiB, .line_bytes = 64, .associativity = 16,
+       .pus_per_instance = 8, .hit_latency_cycles = 38.0},
+  };
+  m.memory = {.total_bytes = 6 * kGiB, .dram_latency_cycles = 190.0,
+              // Triple-channel DDR3-1066: ~25.6 GB/s peak, ~14 GB/s sustained
+              // for irregular traffic at 2.66 GHz ≈ 5.3 B/cycle.
+              .bytes_per_cycle_per_controller = 5.3,
+              .random_line_occupancy_cycles = 52.0};
+  return m;
+}
+
+MachineSpec xeon_e5450_2s() {
+  MachineSpec m;
+  m.name = "xeon-e5450-2s";
+  m.processor = "Intel Xeon E5450";
+  m.packages = 2;
+  m.cores_per_package = 4;
+  m.smt_per_core = 1;
+  m.ghz = 3.0;
+  // Table II reports a 6 MB last-level cache shared by each core pair (four
+  // instances across the machine) in addition to 32 kB L1 / 256 kB L2.
+  m.caches = {
+      {.level = 1, .size_bytes = 32 * kKiB, .line_bytes = 64, .associativity = 8,
+       .pus_per_instance = 1, .hit_latency_cycles = 3.0},
+      {.level = 2, .size_bytes = 256 * kKiB, .line_bytes = 64, .associativity = 8,
+       .pus_per_instance = 1, .hit_latency_cycles = 12.0},
+      {.level = 3, .size_bytes = 6 * kMiB, .line_bytes = 64, .associativity = 24,
+       .pus_per_instance = 2, .hit_latency_cycles = 40.0},
+  };
+  m.memory = {.total_bytes = 16 * kGiB, .dram_latency_cycles = 230.0,
+              // FSB-attached FB-DIMM: one shared north-bridge memory
+              // controller serves both sockets (home_package 0); the remote
+              // socket pays only a small FSB hop.
+              .bytes_per_cycle_per_controller = 3.2,
+              .random_line_occupancy_cycles = 62.0,
+              .home_package = 0,
+              .remote_latency_factor = 1.1};
+  return m;
+}
+
+MachineSpec xeon_x7560_4s() {
+  MachineSpec m;
+  m.name = "xeon-x7560-4s";
+  m.processor = "Intel Xeon X7560";
+  m.packages = 4;
+  m.cores_per_package = 8;
+  m.smt_per_core = 2;
+  m.ghz = 2.26;
+  m.caches = {
+      {.level = 1, .size_bytes = 32 * kKiB, .line_bytes = 64, .associativity = 8,
+       .pus_per_instance = 2, .hit_latency_cycles = 4.0},
+      {.level = 2, .size_bytes = 256 * kKiB, .line_bytes = 64, .associativity = 8,
+       .pus_per_instance = 2, .hit_latency_cycles = 11.0},
+      {.level = 3, .size_bytes = 24 * kMiB, .line_bytes = 64, .associativity = 24,
+       .pus_per_instance = 16, .hit_latency_cycles = 45.0},
+  };
+  m.memory = {.total_bytes = 192 * kGiB, .dram_latency_cycles = 260.0,
+              .bytes_per_cycle_per_controller = 6.0,
+              .random_line_occupancy_cycles = 42.0,
+              // The JVM allocates its heap on the node it starts on; all
+              // sockets then fetch through node 0's controller, remote ones
+              // over the QPI hop.
+              .home_package = 0,
+              .remote_latency_factor = 1.7};
+  return m;
+}
+
+std::vector<MachineSpec> table2_machines() {
+  return {core_i7_920(), xeon_e5450_2s(), xeon_x7560_4s()};
+}
+
+}  // namespace mwx::topo

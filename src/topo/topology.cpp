@@ -1,0 +1,249 @@
+#include "topo/topology.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/require.hpp"
+
+namespace mwx::topo {
+
+const char* to_string(NodeType t) {
+  switch (t) {
+    case NodeType::Machine: return "Machine";
+    case NodeType::Package: return "Package";
+    case NodeType::Core: return "Core";
+    case NodeType::Pu: return "PU";
+    case NodeType::Cache: return "Cache";
+  }
+  return "?";
+}
+
+std::string Node::label() const {
+  std::ostringstream os;
+  if (type == NodeType::Cache) {
+    os << 'L' << cache_level;
+    const double mib = static_cast<double>(cache_size_bytes) / (1024.0 * 1024.0);
+    if (mib >= 1.0) {
+      os << " (" << mib << " MiB)";
+    } else {
+      os << " (" << cache_size_bytes / 1024 << " KiB)";
+    }
+  } else {
+    os << to_string(type) << ' ' << (type == NodeType::Pu ? os_index : index);
+  }
+  return os.str();
+}
+
+namespace {
+
+// Attaches cache nodes below `parent` for every level whose sharing domain
+// is exactly the PU range the parent covers, then recurses.
+void attach_structure(Node& parent, const MachineSpec& spec, int first_pu, int n_pus_here) {
+  // Insert any cache level whose instance width equals this node's width.
+  // When a package and its cores have the same width (single-core package),
+  // the cache belongs to the deeper node — the core — so skip it here.
+  const int core_width = spec.smt_per_core;
+  for (const auto& c : spec.caches) {
+    if (parent.type == NodeType::Package && c.pus_per_instance <= core_width) continue;
+    if (c.pus_per_instance == n_pus_here && parent.type != NodeType::Machine) {
+      // Represent the cache as a child annotation node.
+      auto cache = std::make_unique<Node>();
+      cache->type = NodeType::Cache;
+      cache->cache_level = c.level;
+      cache->cache_size_bytes = c.size_bytes;
+      cache->os_index = first_pu / c.pus_per_instance;
+      cache->cpuset = CpuSet::range(first_pu, first_pu + n_pus_here);
+      parent.children.push_back(std::move(cache));
+    }
+  }
+
+  if (parent.type == NodeType::Machine) {
+    const int pus_per_pkg = spec.cores_per_package * spec.smt_per_core;
+    for (int p = 0; p < spec.packages; ++p) {
+      auto pkg = std::make_unique<Node>();
+      pkg->type = NodeType::Package;
+      pkg->index = p;
+      pkg->cpuset = CpuSet::range(p * pus_per_pkg, (p + 1) * pus_per_pkg);
+      attach_structure(*pkg, spec, p * pus_per_pkg, pus_per_pkg);
+      parent.children.push_back(std::move(pkg));
+    }
+  } else if (parent.type == NodeType::Package) {
+    const int pus_per_core = spec.smt_per_core;
+    const int first_core = first_pu / pus_per_core;
+    for (int c = 0; c < spec.cores_per_package; ++c) {
+      auto core = std::make_unique<Node>();
+      core->type = NodeType::Core;
+      core->index = first_core + c;
+      const int pu0 = first_pu + c * pus_per_core;
+      core->cpuset = CpuSet::range(pu0, pu0 + pus_per_core);
+      attach_structure(*core, spec, pu0, pus_per_core);
+      parent.children.push_back(std::move(core));
+    }
+  } else if (parent.type == NodeType::Core) {
+    for (int s = 0; s < spec.smt_per_core; ++s) {
+      auto pu = std::make_unique<Node>();
+      pu->type = NodeType::Pu;
+      pu->index = s;
+      pu->os_index = first_pu + s;
+      pu->cpuset = CpuSet::of({first_pu + s});
+      parent.children.push_back(std::move(pu));
+    }
+  }
+}
+
+void render_node(const Node& n, int depth, std::ostringstream& os) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << n.label() << '\n';
+  for (const auto& c : n.children) render_node(*c, depth + 1, os);
+}
+
+}  // namespace
+
+Topology::Topology(MachineSpec spec) : spec_(std::move(spec)) {
+  require(spec_.packages > 0 && spec_.cores_per_package > 0 && spec_.smt_per_core > 0,
+          "machine must have at least one PU");
+  require(spec_.n_pus() <= CpuSet::kMaxPus, "machine exceeds CpuSet capacity");
+  root_ = std::make_unique<Node>();
+  root_->type = NodeType::Machine;
+  root_->cpuset = CpuSet::range(0, spec_.n_pus());
+  attach_structure(*root_, spec_, 0, spec_.n_pus());
+}
+
+CpuSet Topology::pus_sharing_cache(int level, int pu) const {
+  require(pu >= 0 && pu < n_pus(), "pu out of range");
+  const CacheLevelSpec* c = spec_.find_level(level);
+  if (c == nullptr) return CpuSet::of({pu});
+  const int inst = pu / c->pus_per_instance;
+  return CpuSet::range(inst * c->pus_per_instance, (inst + 1) * c->pus_per_instance);
+}
+
+CpuSet Topology::smt_siblings(int pu) const {
+  require(pu >= 0 && pu < n_pus(), "pu out of range");
+  const int core = spec_.pu_to_core(pu);
+  return CpuSet::range(core * spec_.smt_per_core, (core + 1) * spec_.smt_per_core);
+}
+
+std::vector<int> Topology::one_pu_per_core() const {
+  std::vector<int> pus;
+  pus.reserve(static_cast<std::size_t>(n_cores()));
+  for (int c = 0; c < n_cores(); ++c) pus.push_back(c * spec_.smt_per_core);
+  return pus;
+}
+
+std::vector<int> Topology::pus_of_package(int package) const {
+  require(package >= 0 && package < spec_.packages, "package out of range");
+  const int per_pkg = spec_.cores_per_package * spec_.smt_per_core;
+  std::vector<int> pus;
+  pus.reserve(static_cast<std::size_t>(per_pkg));
+  for (int i = 0; i < per_pkg; ++i) pus.push_back(package * per_pkg + i);
+  return pus;
+}
+
+int Topology::distance_class(int pu_a, int pu_b) const {
+  require(pu_a >= 0 && pu_a < n_pus() && pu_b >= 0 && pu_b < n_pus(), "pu out of range");
+  if (pu_a == pu_b) return 0;
+  if (spec_.pu_to_core(pu_a) == spec_.pu_to_core(pu_b)) return 1;
+  const CacheLevelSpec* llc = spec_.find_level(3);
+  if (llc != nullptr && pu_a / llc->pus_per_instance == pu_b / llc->pus_per_instance) return 2;
+  if (spec_.pu_to_package(pu_a) == spec_.pu_to_package(pu_b)) return 3;
+  return 4;
+}
+
+std::string Topology::render() const {
+  std::ostringstream os;
+  os << spec_.processor << " (" << spec_.packages << " x " << spec_.cores_per_package
+     << " cores x " << spec_.smt_per_core << " SMT @ " << spec_.ghz << " GHz)\n";
+  render_node(*root_, 0, os);
+  return os.str();
+}
+
+namespace {
+
+// Reads a small integer file like /sys/devices/system/cpu/cpu0/topology/...
+// Returns fallback when missing/unparsable.
+long read_long(const std::filesystem::path& p, long fallback) {
+  std::ifstream in(p);
+  long v = fallback;
+  if (in && (in >> v)) return v;
+  return fallback;
+}
+
+// Parses cache size strings of the form "32K" / "8192K" / "2M".
+std::int64_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  std::int64_t v = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    ++i;
+  }
+  if (i < s.size() && (s[i] == 'K' || s[i] == 'k')) v *= 1024;
+  if (i < s.size() && (s[i] == 'M' || s[i] == 'm')) v *= 1024 * 1024;
+  return v;
+}
+
+}  // namespace
+
+MachineSpec discover_host() {
+  MachineSpec m;
+  m.name = "host";
+  m.processor = "host processor";
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int n_pus = hc > 0 ? static_cast<int>(hc) : 1;
+
+  namespace fs = std::filesystem;
+  const fs::path cpu0 = "/sys/devices/system/cpu/cpu0";
+
+  int smt = 1;
+  int max_package = 0;
+  if (fs::exists(cpu0 / "topology")) {
+    // Count SMT siblings of cpu0 and the highest package id across all PUs.
+    int core0 = static_cast<int>(read_long(cpu0 / "topology/core_id", 0));
+    int siblings = 0;
+    for (int pu = 0; pu < n_pus; ++pu) {
+      const fs::path base = fs::path("/sys/devices/system/cpu") / ("cpu" + std::to_string(pu));
+      if (!fs::exists(base / "topology")) continue;
+      const int pkg = static_cast<int>(read_long(base / "topology/physical_package_id", 0));
+      max_package = std::max(max_package, pkg);
+      if (pkg == 0 && read_long(base / "topology/core_id", -1) == core0) ++siblings;
+    }
+    smt = std::max(1, siblings);
+  }
+  m.packages = max_package + 1;
+  m.smt_per_core = smt;
+  m.cores_per_package = std::max(1, n_pus / (m.packages * m.smt_per_core));
+
+  // Cache hierarchy from cpu0's index directories.
+  for (int idx = 0;; ++idx) {
+    const fs::path c = cpu0 / "cache" / ("index" + std::to_string(idx));
+    if (!fs::exists(c)) break;
+    std::ifstream type_in(c / "type");
+    std::string type;
+    type_in >> type;
+    if (type == "Instruction") continue;
+    CacheLevelSpec lvl;
+    lvl.level = static_cast<int>(read_long(c / "level", idx + 1));
+    std::ifstream size_in(c / "size");
+    std::string size_s;
+    size_in >> size_s;
+    lvl.size_bytes = parse_size(size_s);
+    lvl.line_bytes = static_cast<int>(read_long(c / "coherency_line_size", 64));
+    lvl.associativity = static_cast<int>(read_long(c / "ways_of_associativity", 8));
+    // Width of the sharing domain: count bits of shared_cpu_list span; we
+    // approximate with 1 PU (private) for L1/L2 and all PUs for L3.
+    lvl.pus_per_instance = lvl.level >= 3 ? n_pus : m.smt_per_core;
+    lvl.hit_latency_cycles = lvl.level == 1 ? 4.0 : (lvl.level == 2 ? 12.0 : 40.0);
+    m.caches.push_back(lvl);
+  }
+  if (m.caches.empty()) {
+    m.caches = {{.level = 1, .size_bytes = 32 * 1024, .line_bytes = 64, .associativity = 8,
+                 .pus_per_instance = 1, .hit_latency_cycles = 4.0}};
+  }
+  m.memory = {.total_bytes = 0, .dram_latency_cycles = 200.0,
+              .bytes_per_cycle_per_controller = 5.0};
+  return m;
+}
+
+}  // namespace mwx::topo

@@ -1,0 +1,77 @@
+// Hardware topology tree — the hwloc substitute called for in Section V-C.
+//
+// Presents the machine as a general-purpose tree of resources
+// (Machine → Package → Core → PU, with Cache nodes attached at their sharing
+// level) and answers the queries the paper identified as missing from 2010
+// tooling: which PUs share a last-level cache, which PUs are SMT siblings,
+// and how a CpuSet maps onto physical resources.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/cpuset.hpp"
+#include "topo/machine_spec.hpp"
+
+namespace mwx::topo {
+
+enum class NodeType { Machine, Package, Core, Pu, Cache };
+
+const char* to_string(NodeType t);
+
+struct Node {
+  NodeType type = NodeType::Machine;
+  int index = 0;          // index among siblings of the same type
+  int os_index = -1;      // PU: logical processor id; Cache: instance id
+  int cache_level = 0;    // Cache nodes only
+  std::int64_t cache_size_bytes = 0;
+  CpuSet cpuset;          // PUs contained in / serviced by this node
+  std::vector<std::unique_ptr<Node>> children;
+
+  [[nodiscard]] std::string label() const;
+};
+
+class Topology {
+ public:
+  // Builds the canonical tree for a declarative machine description.
+  explicit Topology(MachineSpec spec);
+
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+  [[nodiscard]] const Node& root() const { return *root_; }
+
+  [[nodiscard]] int n_pus() const { return spec_.n_pus(); }
+  [[nodiscard]] int n_cores() const { return spec_.n_cores(); }
+
+  // PUs sharing the given PU's cache at `level` (includes `pu` itself).
+  [[nodiscard]] CpuSet pus_sharing_cache(int level, int pu) const;
+
+  // SMT siblings of `pu` (includes `pu`).
+  [[nodiscard]] CpuSet smt_siblings(int pu) const;
+
+  // One PU per physical core, lowest SMT thread first: the mask a pinning
+  // policy uses to avoid placing two threads on one core inadvertently
+  // (the failure mode called out at the end of Section V-C).
+  [[nodiscard]] std::vector<int> one_pu_per_core() const;
+
+  // PUs of the given package, in PU order.
+  [[nodiscard]] std::vector<int> pus_of_package(int package) const;
+
+  // Distance classes between two PUs: 0 same PU, 1 same core (SMT),
+  // 2 same LLC, 3 same package, 4 cross package.
+  [[nodiscard]] int distance_class(int pu_a, int pu_b) const;
+
+  // ASCII rendering of the resource tree (one node per line, indented).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  MachineSpec spec_;
+  std::unique_ptr<Node> root_;
+};
+
+// Best-effort discovery of the host machine from /sys (falls back to a
+// single-core description when sysfs is unavailable).  The discovered spec
+// uses measured cache sizes but default latency/bandwidth figures.
+MachineSpec discover_host();
+
+}  // namespace mwx::topo

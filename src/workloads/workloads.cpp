@@ -1,0 +1,362 @@
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace mwx::workloads {
+
+using md::AtomType;
+using md::AtomTypeTable;
+using md::Box;
+using md::MolecularSystem;
+using units::ev;
+
+namespace {
+
+// Shuffles `items` with the workload RNG (Fisher–Yates), modelling the
+// arbitrary creation order of objects loaded from a scene file.
+template <typename T>
+void shuffle(std::vector<T>& items, Rng& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    std::swap(items[i - 1], items[static_cast<std::size_t>(rng.below(i))]);
+  }
+}
+
+// Adds atoms in (shuffled) creation order; returns creation index per site.
+struct Site {
+  Vec3 pos;
+  Vec3 vel;
+  int type;
+  double charge;
+  bool movable;
+};
+
+std::vector<int> add_sites(MolecularSystem& sys, std::vector<Site>& sites, Rng& rng,
+                           bool shuffle_order) {
+  std::vector<int> order(sites.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  if (shuffle_order) shuffle(order, rng);
+  std::vector<int> index_of_site(sites.size());
+  for (int k : order) {
+    const Site& s = sites[static_cast<std::size_t>(k)];
+    index_of_site[static_cast<std::size_t>(k)] =
+        sys.add_atom(s.type, s.pos, s.vel, s.charge, s.movable);
+  }
+  return index_of_site;
+}
+
+Vec3 thermal_velocity(Rng& rng, double mass, double temperature_k) {
+  return rng.maxwell_boltzmann(units::kBoltzmann * temperature_k / mass);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// nanocar: 989 atoms, 2277 bonds, no charges; ~half the atoms form an
+// immovable gold platform.  Bond-force dominated.
+// ---------------------------------------------------------------------------
+BenchmarkSpec make_nanocar(std::uint64_t seed) {
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kCarbon = types.add({"C", 12.011, ev(0.0048), 3.4});
+  const int kGold = types.add({"Au", 196.97, ev(0.039), 2.63});
+
+  Box box{{0, 0, 0}, {120, 120, 60}};
+  MolecularSystem sys(types, box);
+
+  // Platform: 495 immovable gold atoms in a 33 x 15 sheet at z = 6.
+  const double a = 2.88;  // Au nearest-neighbor spacing
+  std::vector<Site> platform;
+  platform.reserve(495);
+  for (int iy = 0; iy < 15; ++iy) {
+    for (int ix = 0; ix < 33; ++ix) {
+      const Vec3 p{12.0 + a * ix + (iy % 2) * (a / 2), 35.0 + a * 0.866 * iy, 6.0};
+      platform.push_back({p, {}, kGold, 0.0, /*movable=*/false});
+    }
+  }
+
+  // Car: 494 carbon atoms in a 13 x 19 x 2 lattice hovering above the
+  // platform.  (13*19*2 = 494.)
+  const int nx = 13, ny = 19, nz = 2;
+  const double bond_len = 2.8;
+  std::vector<Site> car;
+  car.reserve(static_cast<std::size_t>(nx * ny * nz));
+  const Vec3 car_origin{45.0, 42.0, 6.0 + 3.6};
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        const Vec3 p = car_origin + Vec3{bond_len * ix, bond_len * iy, bond_len * iz};
+        car.push_back({p, thermal_velocity(rng, 12.011, 50.0), kCarbon, 0.0, true});
+      }
+    }
+  }
+
+  // Create atoms: platform first, then car, both in shuffled order as a
+  // whole (file-load order).
+  std::vector<Site> all;
+  all.reserve(platform.size() + car.size());
+  for (auto& s : platform) all.push_back(s);
+  for (auto& s : car) all.push_back(s);
+  const std::vector<int> idx = add_sites(sys, all, rng, /*shuffle_order=*/true);
+  const auto car_idx = [&](int ix, int iy, int iz) {
+    return idx[platform.size() +
+               static_cast<std::size_t>((iz * ny + iy) * nx + ix)];
+  };
+
+  // Bonds: nearest-neighbor radial bonds, straight-line angle bonds, and
+  // torsions along x — trimmed/extended to exactly 2277 total (Table I).
+  const double kr = ev(10.0);   // eV/Å^2
+  const double ka = ev(1.5);    // eV/rad^2
+  const double kt = ev(0.12);
+  int budget = 2277;
+  auto radial = [&](int p, int q) {
+    if (budget <= 0) return;
+    sys.add_radial_bond({p, q, kr, bond_len});
+    --budget;
+  };
+  auto angular = [&](int p, int q, int r) {
+    if (budget <= 0) return;
+    sys.add_angular_bond({p, q, r, ka, 3.14159265358979323846});
+    --budget;
+  };
+  auto torsion = [&](int p, int q, int r, int s) {
+    if (budget <= 0) return;
+    sys.add_torsion_bond({p, q, r, s, kt, 1, 0.0});
+    --budget;
+  };
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        if (ix + 1 < nx) radial(car_idx(ix, iy, iz), car_idx(ix + 1, iy, iz));
+        if (iy + 1 < ny) radial(car_idx(ix, iy, iz), car_idx(ix, iy + 1, iz));
+        if (iz + 1 < nz) radial(car_idx(ix, iy, iz), car_idx(ix, iy, iz + 1));
+      }
+    }
+  }
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix + 2 < nx; ++ix) {
+        angular(car_idx(ix, iy, iz), car_idx(ix + 1, iy, iz), car_idx(ix + 2, iy, iz));
+      }
+    }
+    for (int ix = 0; ix < nx; ++ix) {
+      for (int iy = 0; iy + 2 < ny; ++iy) {
+        angular(car_idx(ix, iy, iz), car_idx(ix, iy + 1, iz), car_idx(ix, iy + 2, iz));
+      }
+    }
+  }
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix + 3 < nx; ++ix) {
+        torsion(car_idx(ix, iy, iz), car_idx(ix + 1, iy, iz), car_idx(ix + 2, iy, iz),
+                car_idx(ix + 3, iy, iz));
+      }
+    }
+  }
+  // Fill any remaining budget with cross-diagonal stiffeners.
+  for (int iy = 0; iy + 1 < ny && budget > 0; ++iy) {
+    for (int ix = 0; ix + 1 < nx && budget > 0; ++ix) {
+      if (budget <= 0) break;
+      sys.add_radial_bond({car_idx(ix, iy, 0), car_idx(ix + 1, iy + 1, 1), kr,
+                           bond_len * std::sqrt(3.0)});
+      --budget;
+    }
+  }
+  require(sys.n_bonds_total() == 2277, "nanocar bond count must match Table I");
+  require(sys.n_atoms() == 989, "nanocar atom count must match Table I");
+
+  md::EngineConfig cfg;
+  cfg.dt_fs = 1.0;
+  cfg.cutoff = 5.5;
+  cfg.skin = 0.9;
+  return {"nanocar", std::move(sys), cfg, "Bonds"};
+}
+
+// ---------------------------------------------------------------------------
+// salt: 400 Na+ and 400 Cl- in a rock-salt arrangement; every atom charged,
+// no bonds.  Coulomb dominated.
+// ---------------------------------------------------------------------------
+BenchmarkSpec make_salt(std::uint64_t seed) {
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kNa = types.add({"Na", 22.99, ev(0.028), 2.35});
+  const int kCl = types.add({"Cl", 35.45, ev(0.028), 4.40});
+
+  const double a = 2.82;  // Na-Cl spacing
+  const int nx = 10, ny = 10, nz = 8;  // 800 sites
+  Box box{{0, 0, 0}, {nx * a + 24.0, ny * a + 24.0, nz * a + 24.0}};
+  MolecularSystem sys(types, box);
+
+  std::vector<Site> sites;
+  sites.reserve(static_cast<std::size_t>(nx * ny * nz));
+  const Vec3 origin{12.0, 12.0, 12.0};
+  for (int iz = 0; iz < nz; ++iz) {
+    for (int iy = 0; iy < ny; ++iy) {
+      for (int ix = 0; ix < nx; ++ix) {
+        const bool sodium = (ix + iy + iz) % 2 == 0;
+        const int type = sodium ? kNa : kCl;
+        const double mass = sodium ? 22.99 : 35.45;
+        sites.push_back({origin + Vec3{a * ix, a * iy, a * iz},
+                         thermal_velocity(rng, mass, 300.0), type,
+                         sodium ? +1.0 : -1.0, true});
+      }
+    }
+  }
+  add_sites(sys, sites, rng, /*shuffle_order=*/true);
+  require(sys.n_atoms() == 800 && sys.n_charged() == 800,
+          "salt composition must match Table I");
+
+  md::EngineConfig cfg;
+  cfg.dt_fs = 1.0;
+  cfg.cutoff = 7.0;
+  cfg.skin = 0.9;
+  return {"salt", std::move(sys), cfg, "Ionic"};
+}
+
+// ---------------------------------------------------------------------------
+// Al-1000: a densely packed stationary block of 999 aluminium atoms hit by a
+// single fast gold atom.  Lennard-Jones dominated; the collision cascade
+// forces frequent neighbor-list updates.
+// ---------------------------------------------------------------------------
+BenchmarkSpec make_al1000(std::uint64_t seed) {
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kAl = types.add({"Al", 26.98, ev(0.35), 2.55});
+  const int kAu = types.add({"Au", 196.97, ev(0.40), 2.58});
+
+  const double a = 4.05;  // fcc lattice constant
+  Box box{{0, 0, 0}, {55, 55, 70}};
+  MolecularSystem sys(types, box);
+
+  // fcc block: generate lattice sites until 999 atoms.
+  std::vector<Site> sites;
+  const Vec3 origin{14.0, 14.0, 12.0};
+  const Vec3 basis[4] = {{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}};
+  for (int iz = 0; iz < 7 && sites.size() < 999; ++iz) {
+    for (int iy = 0; iy < 7 && sites.size() < 999; ++iy) {
+      for (int ix = 0; ix < 7 && sites.size() < 999; ++ix) {
+        for (const Vec3& b : basis) {
+          if (sites.size() >= 999) break;
+          const Vec3 p = origin + (Vec3{static_cast<double>(ix), static_cast<double>(iy),
+                                        static_cast<double>(iz)} +
+                                   b) *
+                                      a;
+          sites.push_back({p, thermal_velocity(rng, 26.98, 300.0), kAl, 0.0, true});
+        }
+      }
+    }
+  }
+  require(sites.size() == 999, "Al block must have 999 atoms");
+
+  // The projectile: one gold atom above the block, moving down fast
+  // (~60 eV of kinetic energy).
+  const double speed = 0.12;  // Å/fs ≈ 12 km/s
+  sites.push_back({origin + Vec3{3.2 * a, 3.1 * a, 7.4 * a},
+                   {0.004, -0.003, -speed}, kAu, 0.0, true});
+
+  add_sites(sys, sites, rng, /*shuffle_order=*/true);
+  require(sys.n_atoms() == 1000, "Al-1000 atom count must match Table I");
+
+  md::EngineConfig cfg;
+  cfg.dt_fs = 1.0;
+  cfg.cutoff = 7.5;
+  cfg.skin = 0.8;
+  return {"Al-1000", std::move(sys), cfg, "Lennard-Jones"};
+}
+
+std::vector<std::string> benchmark_names() { return {"nanocar", "salt", "Al-1000"}; }
+
+BenchmarkSpec make_benchmark(const std::string& name, std::uint64_t seed) {
+  if (name == "nanocar") return make_nanocar(seed);
+  if (name == "salt") return make_salt(seed);
+  if (name == "Al-1000" || name == "al1000") return make_al1000(seed);
+  require(false, "unknown benchmark: " + name);
+  return make_nanocar(seed);  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Generic generators
+// ---------------------------------------------------------------------------
+MolecularSystem make_lj_gas(int n, double density, double temperature_k, std::uint64_t seed) {
+  require(n > 0 && density > 0.0, "gas needs atoms and a positive density");
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kAr = types.add({"Ar", 39.95, ev(0.0104), 3.40});
+  const double side = std::cbrt(static_cast<double>(n) / density);
+  Box box{{0, 0, 0}, {side, side, side}};
+  MolecularSystem sys(types, box);
+  // Simple-cubic seed lattice (avoids overlaps), thermal velocities.
+  const int per_side = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n))));
+  const double spacing = side / per_side;
+  int placed = 0;
+  for (int iz = 0; iz < per_side && placed < n; ++iz) {
+    for (int iy = 0; iy < per_side && placed < n; ++iy) {
+      for (int ix = 0; ix < per_side && placed < n; ++ix) {
+        const Vec3 p{(ix + 0.5) * spacing, (iy + 0.5) * spacing, (iz + 0.5) * spacing};
+        sys.add_atom(kAr, p, thermal_velocity(rng, 39.95, temperature_k));
+        ++placed;
+      }
+    }
+  }
+  return sys;
+}
+
+MolecularSystem make_chain(int n, std::uint64_t seed) {
+  require(n >= 2, "chain needs at least two atoms");
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kC = types.add({"C", 12.011, ev(0.0048), 3.4});
+  const double b = 1.54;
+  Box box{{0, 0, 0}, {b * n + 20.0, 40, 40}};
+  MolecularSystem sys(types, box);
+  for (int i = 0; i < n; ++i) {
+    // Slight zig-zag so angles/torsions are away from singular geometry.
+    const Vec3 p{10.0 + b * i, 20.0 + 0.3 * (i % 2), 20.0 + 0.2 * ((i / 2) % 2)};
+    sys.add_atom(kC, p, thermal_velocity(rng, 12.011, 80.0));
+  }
+  for (int i = 0; i + 1 < n; ++i) sys.add_radial_bond({i, i + 1, ev(12.0), b});
+  for (int i = 0; i + 2 < n; ++i) {
+    sys.add_angular_bond({i, i + 1, i + 2, ev(1.2), 1.9106332362490186});
+  }
+  for (int i = 0; i + 3 < n; ++i) {
+    sys.add_torsion_bond({i, i + 1, i + 2, i + 3, ev(0.08), 3, 0.0});
+  }
+  return sys;
+}
+
+MolecularSystem make_ionic(int n, std::uint64_t seed) {
+  require(n >= 2 && n % 2 == 0, "ionic system needs an even atom count");
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kNa = types.add({"Na", 22.99, ev(0.028), 2.35});
+  const int kCl = types.add({"Cl", 35.45, ev(0.028), 4.40});
+  const double a = 2.82;
+  const int per_side = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n))));
+  Box box{{0, 0, 0},
+          {per_side * a + 24.0, per_side * a + 24.0, per_side * a + 24.0}};
+  MolecularSystem sys(types, box);
+  int placed = 0;
+  for (int iz = 0; iz < per_side && placed < n; ++iz) {
+    for (int iy = 0; iy < per_side && placed < n; ++iy) {
+      for (int ix = 0; ix < per_side && placed < n; ++ix) {
+        const bool sodium = (ix + iy + iz) % 2 == 0;
+        sys.add_atom(sodium ? kNa : kCl, Vec3{12.0 + a * ix, 12.0 + a * iy, 12.0 + a * iz},
+                     thermal_velocity(rng, sodium ? 22.99 : 35.45, 300.0),
+                     sodium ? +1.0 : -1.0);
+        ++placed;
+      }
+    }
+  }
+  return sys;
+}
+
+TableRow table1_row(const BenchmarkSpec& spec) {
+  return {spec.name, spec.system.n_atoms(), spec.system.n_charged(),
+          spec.system.n_bonds_total(), spec.dominant};
+}
+
+}  // namespace mwx::workloads

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "common/vec3.hpp"
+
+namespace mwx {
+namespace {
+
+TEST(Vec3Test, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(b / 2.0, Vec3(2, 2.5, 3));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+  v /= 3.0;
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(dot(x, y), 0.0);
+  EXPECT_EQ(dot(x, x), 1.0);
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, z), x);
+  EXPECT_EQ(cross(z, x), y);
+  EXPECT_EQ(cross(x, x), Vec3(0, 0, 0));
+}
+
+TEST(Vec3Test, NormAndDistance) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Vec3{1, 1, 1}, Vec3{1, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(distance2(Vec3{0, 0, 0}, Vec3{1, 2, 2}), 9.0);
+}
+
+TEST(Vec3Test, MaxAbsComponent) {
+  EXPECT_DOUBLE_EQ(Vec3(-5, 2, 3).max_abs_component(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, -7, 3).max_abs_component(), 7.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, -9).max_abs_component(), 9.0);
+}
+
+TEST(Vec3Test, IndexAccess) {
+  Vec3 v{1, 2, 3};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+  v[1] = 9.0;
+  EXPECT_EQ(v.y, 9.0);
+}
+
+TEST(Vec3Test, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10; ++i) differs |= a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, MaxwellBoltzmannIsotropic) {
+  Rng rng(5);
+  RunningStats sx, sy, sz;
+  for (int i = 0; i < 20000; ++i) {
+    const Vec3 v = rng.maxwell_boltzmann(2.0);
+    sx.add(v.x);
+    sy.add(v.y);
+    sz.add(v.z);
+  }
+  EXPECT_NEAR(sx.stddev(), std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(sy.stddev(), std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(sz.stddev(), std::sqrt(2.0), 0.05);
+}
+
+TEST(RngTest, PointInBox) {
+  Rng rng(9);
+  const Vec3 lo{-1, 0, 2}, hi{1, 3, 4};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 p = rng.point_in_box(lo, hi);
+    EXPECT_GE(p.x, lo.x);
+    EXPECT_LT(p.x, hi.x);
+    EXPECT_GE(p.y, lo.y);
+    EXPECT_LT(p.y, hi.y);
+    EXPECT_GE(p.z, lo.z);
+    EXPECT_LT(p.z, hi.z);
+  }
+}
+
+TEST(UnitsTest, EnergyRoundTrip) {
+  EXPECT_NEAR(units::to_ev(units::ev(3.7)), 3.7, 1e-12);
+}
+
+TEST(UnitsTest, InternalEnergyUnitMagnitude) {
+  // 1 amu·Å²/fs² ≈ 103.64 eV.
+  EXPECT_NEAR(units::to_ev(1.0), 103.64, 0.01);
+}
+
+TEST(UnitsTest, KineticToKelvin) {
+  // 3/2 N kB T of kinetic energy must invert to T.
+  const int n = 100;
+  const double t = 300.0;
+  const double ke = 1.5 * n * units::kBoltzmann * t;
+  EXPECT_NEAR(units::kinetic_to_kelvin(ke, n), t, 1e-9);
+  EXPECT_EQ(units::kinetic_to_kelvin(1.0, 0), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StatsTest, ImbalanceRatioBalanced) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({1.0, 1.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(StatsTest, ImbalanceRatioSkewed) {
+  // max 4, mean 2.5 -> 1.6
+  EXPECT_DOUBLE_EQ(imbalance_ratio({1.0, 2.0, 3.0, 4.0}), 1.6);
+}
+
+TEST(StatsTest, ImbalanceEmptyThrows) {
+  EXPECT_THROW(imbalance_ratio({}), ContractError);
+}
+
+TEST(StatsTest, BarrierWasteFraction) {
+  // One thread works 4s, three idle after 2s: waste = (2+2+2)/(4*4) = 0.375.
+  EXPECT_DOUBLE_EQ(barrier_waste_fraction({4.0, 2.0, 2.0, 2.0}), 0.375);
+  EXPECT_DOUBLE_EQ(barrier_waste_fraction({3.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(barrier_waste_fraction({0.0, 0.0}), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+  EXPECT_THROW(percentile({}, 50), ContractError);
+  EXPECT_THROW(percentile(v, 101), ContractError);
+}
+
+TEST(TableTest, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+  t.row("x", 1);
+  EXPECT_EQ(t.n_rows(), 1u);
+}
+
+TEST(TableTest, CellFormatting) {
+  EXPECT_EQ(Table::cell(3), "3");
+  EXPECT_EQ(Table::cell("s"), "s");
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(0.0), "0");
+}
+
+TEST(TableTest, PrintContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.row("alpha", 42);
+  std::ostringstream os;
+  t.print(os, "My Table");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.row(1, 2);
+  t.row(3, 4);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(RequireTest, ThrowsWithMessage) {
+  try {
+    require(false, "broken invariant");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken invariant"), std::string::npos);
+  }
+  EXPECT_NO_THROW(require(true, "fine"));
+}
+
+}  // namespace
+}  // namespace mwx

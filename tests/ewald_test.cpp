@@ -1,0 +1,344 @@
+// Tests for the FFT and Ewald/PME electrostatics (the paper's future-work
+// extension).  The strongest checks: the FFT round-trips and satisfies
+// Parseval; DirectEwald reproduces the NaCl Madelung constant; PME matches
+// DirectEwald in energy and forces; forces equal the negative numerical
+// gradient of the energy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "md/ewald/fft.hpp"
+#include "md/ewald/pme.hpp"
+
+namespace mwx::md::ewald {
+namespace {
+
+TEST(FftTest, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(33), 64);
+}
+
+TEST(FftTest, RoundTrip1D) {
+  Rng rng(3);
+  std::vector<Complex> data(64);
+  for (auto& c : data) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  fft_1d(data.data(), 64, false);
+  fft_1d(data.data(), 64, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(FftTest, DeltaTransformsToFlat) {
+  std::vector<Complex> data(16, Complex{0, 0});
+  data[0] = {1.0, 0.0};
+  fft_1d(data.data(), 16, false);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SinglePureFrequencyPeaks) {
+  constexpr int kN = 32;
+  std::vector<Complex> data(kN);
+  const int freq = 5;
+  for (int i = 0; i < kN; ++i) {
+    data[static_cast<std::size_t>(i)] = {std::cos(2.0 * 3.14159265358979 * freq * i / kN),
+                                         0.0};
+  }
+  fft_1d(data.data(), kN, false);
+  // Energy concentrated at +-freq bins.
+  EXPECT_NEAR(std::abs(data[freq]), kN / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[kN - freq]), kN / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[0]), 0.0, 1e-9);
+}
+
+TEST(FftTest, Parseval) {
+  Rng rng(9);
+  std::vector<Complex> data(128);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    time_energy += std::norm(c);
+  }
+  fft_1d(data.data(), 128, false);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-8);
+}
+
+TEST(FftTest, RoundTrip3D) {
+  Fft3D fft(8, 8, 8);
+  Rng rng(5);
+  std::vector<Complex> grid(fft.size());
+  for (auto& c : grid) c = {rng.uniform(-1, 1), 0.0};
+  const auto original = grid;
+  fft.forward(grid);
+  fft.inverse(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(grid[i].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, RejectsNonPow2) { EXPECT_THROW(Fft3D(8, 12, 8), ContractError); }
+
+TEST(BsplineTest, PartitionOfUnity) {
+  // Sum of M_p over the integer-shifted copies covering x is 1.
+  for (int order : {3, 4, 5}) {
+    for (double frac : {0.0, 0.21, 0.5, 0.77}) {
+      double sum = 0.0;
+      for (int j = 0; j < order; ++j) sum += bspline(order, frac + j);
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "order " << order << " frac " << frac;
+    }
+  }
+}
+
+TEST(BsplineTest, SupportAndSymmetry) {
+  EXPECT_EQ(bspline(4, -0.1), 0.0);
+  EXPECT_EQ(bspline(4, 4.1), 0.0);
+  EXPECT_NEAR(bspline(4, 1.3), bspline(4, 4.0 - 1.3), 1e-12);
+  EXPECT_GT(bspline(4, 2.0), bspline(4, 1.0));
+}
+
+TEST(BsplineTest, DerivativeMatchesNumerical) {
+  for (double x : {0.5, 1.2, 2.0, 3.4}) {
+    const double h = 1e-6;
+    const double numeric = (bspline(4, x + h) - bspline(4, x - h)) / (2 * h);
+    EXPECT_NEAR(bspline_derivative(4, x), numeric, 1e-6);
+  }
+}
+
+// --- Physics ----------------------------------------------------------------
+
+// NaCl rock-salt supercell with unit charges and spacing a.
+void make_nacl(int cells_per_side, double a, std::vector<Vec3>* pos,
+               std::vector<double>* q, Vec3* box) {
+  const int n_side = 2 * cells_per_side;
+  *box = Vec3{a * n_side, a * n_side, a * n_side};
+  pos->clear();
+  q->clear();
+  for (int z = 0; z < n_side; ++z) {
+    for (int y = 0; y < n_side; ++y) {
+      for (int x = 0; x < n_side; ++x) {
+        pos->push_back({(x + 0.5) * a, (y + 0.5) * a, (z + 0.5) * a});
+        q->push_back((x + y + z) % 2 == 0 ? 1.0 : -1.0);
+      }
+    }
+  }
+}
+
+TEST(DirectEwaldTest, MadelungConstantNaCl) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 box;
+  const double a = 2.82;
+  make_nacl(2, a, &pos, &q, &box);  // 64 ions
+  EwaldParams p;
+  p.alpha = 0.45;
+  p.r_cutoff = 0.45 * box.x;
+  p.kmax = 10;
+  DirectEwald ewald(box, p);
+  const EwaldResult r = ewald.compute(pos, q);
+  // Lattice energy = -(N/2) alpha_M k_e / a (the 1/2 avoids double counting
+  // pairs), so per ion it is -alpha_M/2 k_e/a;  alpha_M(NaCl) = 1.747565.
+  const double per_ion = r.energy / static_cast<double>(pos.size());
+  const double madelung = -2.0 * per_ion * a / units::kCoulomb;
+  EXPECT_NEAR(madelung, 1.747565, 1e-3);
+  // Perfect lattice: forces vanish by symmetry.
+  for (const Vec3& f : r.forces) EXPECT_LT(f.norm(), 1e-8);
+}
+
+TEST(DirectEwaldTest, AlphaIndependence) {
+  // The total Ewald energy must not depend on the splitting parameter.
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 box;
+  make_nacl(2, 2.82, &pos, &q, &box);
+  // Perturb so forces are non-trivial too.
+  Rng rng(4);
+  for (auto& r : pos) r += Vec3{rng.uniform(-.2, .2), rng.uniform(-.2, .2),
+                                rng.uniform(-.2, .2)};
+  EwaldParams p1;
+  p1.alpha = 0.40;
+  p1.r_cutoff = 0.45 * box.x;
+  p1.kmax = 12;
+  EwaldParams p2 = p1;
+  p2.alpha = 0.55;
+  const double e1 = DirectEwald(box, p1).compute(pos, q).energy;
+  const double e2 = DirectEwald(box, p2).compute(pos, q).energy;
+  // Agreement is limited by the finite cutoff/kmax truncation.
+  EXPECT_NEAR(e1, e2, std::fabs(e1) * 5e-4);
+}
+
+TEST(DirectEwaldTest, ForcesAreNegativeGradient) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 box{12, 12, 12};
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    pos.push_back(rng.point_in_box({1, 1, 1}, {11, 11, 11}));
+    q.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EwaldParams p;
+  p.alpha = 0.5;
+  p.r_cutoff = 5.5;
+  p.kmax = 9;
+  DirectEwald ewald(box, p);
+  const EwaldResult base = ewald.compute(pos, q);
+  const double h = 1e-5;
+  for (int i = 0; i < 4; ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      Vec3& r = pos[static_cast<std::size_t>(i)];
+      const double orig = r[static_cast<std::size_t>(axis)];
+      r[static_cast<std::size_t>(axis)] = orig + h;
+      const double ep = ewald.compute(pos, q).energy;
+      r[static_cast<std::size_t>(axis)] = orig - h;
+      const double em = ewald.compute(pos, q).energy;
+      r[static_cast<std::size_t>(axis)] = orig;
+      const double numeric = -(ep - em) / (2 * h);
+      EXPECT_NEAR(base.forces[static_cast<std::size_t>(i)][static_cast<std::size_t>(axis)],
+                  numeric, 1e-5 + std::fabs(numeric) * 1e-3);
+    }
+  }
+}
+
+TEST(PmeTest, MatchesDirectEwaldEnergy) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 box;
+  make_nacl(2, 2.82, &pos, &q, &box);
+  Rng rng(6);
+  for (auto& r : pos) r += Vec3{rng.uniform(-.3, .3), rng.uniform(-.3, .3),
+                                rng.uniform(-.3, .3)};
+  EwaldParams p;
+  p.alpha = 0.45;
+  p.r_cutoff = 0.45 * box.x;
+  p.kmax = 12;
+  p.grid = 32;
+  const double e_ref = DirectEwald(box, p).compute(pos, q).energy;
+  const EwaldResult pme = PmeSolver(box, p).compute(pos, q);
+  EXPECT_NEAR(pme.energy, e_ref, std::fabs(e_ref) * 2e-3);
+}
+
+TEST(PmeTest, MatchesDirectEwaldForces) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 box;
+  make_nacl(2, 2.82, &pos, &q, &box);
+  Rng rng(8);
+  for (auto& r : pos) r += Vec3{rng.uniform(-.3, .3), rng.uniform(-.3, .3),
+                                rng.uniform(-.3, .3)};
+  EwaldParams p;
+  p.alpha = 0.45;
+  p.r_cutoff = 0.45 * box.x;
+  p.kmax = 12;
+  p.grid = 32;
+  const EwaldResult ref = DirectEwald(box, p).compute(pos, q);
+  const EwaldResult pme = PmeSolver(box, p).compute(pos, q);
+  double fmax = 1e-12;
+  for (const auto& f : ref.forces) fmax = std::max(fmax, f.norm());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_LT((ref.forces[i] - pme.forces[i]).norm(), 0.02 * fmax) << "atom " << i;
+  }
+}
+
+TEST(PmeTest, ForcesAreNegativeGradient) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 box{16, 16, 16};
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    pos.push_back(rng.point_in_box({1, 1, 1}, {15, 15, 15}));
+    q.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EwaldParams p;
+  p.alpha = 0.45;
+  p.r_cutoff = 7.0;
+  p.grid = 32;
+  PmeSolver pme(box, p);
+  const EwaldResult base = pme.compute(pos, q);
+  const double h = 2e-5;
+  for (int i = 0; i < 3; ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      Vec3& r = pos[static_cast<std::size_t>(i)];
+      const double orig = r[static_cast<std::size_t>(axis)];
+      r[static_cast<std::size_t>(axis)] = orig + h;
+      const double ep = pme.compute(pos, q).energy;
+      r[static_cast<std::size_t>(axis)] = orig - h;
+      const double em = pme.compute(pos, q).energy;
+      r[static_cast<std::size_t>(axis)] = orig;
+      const double numeric = -(ep - em) / (2 * h);
+      const double analytic =
+          base.forces[static_cast<std::size_t>(i)][static_cast<std::size_t>(axis)];
+      EXPECT_NEAR(analytic, numeric, 1e-5 + std::fabs(numeric) * 5e-3);
+    }
+  }
+}
+
+TEST(PmeTest, NewtonsThirdLaw) {
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Vec3 box;
+  make_nacl(2, 2.82, &pos, &q, &box);
+  Rng rng(17);
+  for (auto& r : pos) r += Vec3{rng.uniform(-.2, .2), rng.uniform(-.2, .2),
+                                rng.uniform(-.2, .2)};
+  const EwaldParams p = suggest_params(box, static_cast<int>(pos.size()));
+  const EwaldResult r = PmeSolver(box, p).compute(pos, q);
+  Vec3 total{};
+  for (const auto& f : r.forces) total += f;
+  double fmax = 1e-12;
+  for (const auto& f : r.forces) fmax = std::max(fmax, f.norm());
+  // Smooth PME does not conserve net force exactly (a known artifact of the
+  // non-symmetric B-spline interpolation); the residual must just be small
+  // relative to the physical forces.
+  EXPECT_LT(total.norm() / static_cast<double>(pos.size()), 2e-3 * fmax);
+}
+
+TEST(PmeTest, ParameterValidation) {
+  EwaldParams p;
+  p.grid = 24;  // not a power of two
+  EXPECT_THROW(PmeSolver(Vec3{10, 10, 10}, p), ContractError);
+  EwaldParams p2;
+  p2.r_cutoff = 8.0;
+  EXPECT_THROW(PmeSolver(Vec3{10, 10, 10}, p2), ContractError);
+}
+
+TEST(PmeTest, SuggestParamsAreValid) {
+  const Vec3 box{30, 30, 30};
+  const EwaldParams p = suggest_params(box, 500);
+  EXPECT_LT(p.r_cutoff, 15.0);
+  EXPECT_TRUE(is_pow2(p.grid));
+  EXPECT_NO_THROW(PmeSolver(box, p));
+}
+
+TEST(DirectMinImageTest, TwoChargesSimple) {
+  const Vec3 box{20, 20, 20};
+  const std::vector<Vec3> pos{{5, 10, 10}, {9, 10, 10}};
+  const std::vector<double> q{1.0, -1.0};
+  const EwaldResult r = direct_coulomb_minimum_image(box, pos, q);
+  EXPECT_NEAR(r.energy, -units::kCoulomb / 4.0, 1e-12);
+  EXPECT_GT(r.forces[0].x, 0.0);
+}
+
+TEST(DirectMinImageTest, WrapsAroundBox) {
+  const Vec3 box{20, 20, 20};
+  // 19 apart directly, but 1 apart through the boundary.
+  const std::vector<Vec3> pos{{0.5, 10, 10}, {19.5, 10, 10}};
+  const std::vector<double> q{1.0, 1.0};
+  const EwaldResult r = direct_coulomb_minimum_image(box, pos, q);
+  EXPECT_NEAR(r.energy, units::kCoulomb / 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mwx::md::ewald

@@ -1,0 +1,143 @@
+// Final coverage batch: SMT throughput ordering in the machine model,
+// native single-queue equivalence, workload determinism, and PME on a
+// non-cubic box.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "md/engine.hpp"
+#include "md/ewald/pme.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/machine.hpp"
+#include "topo/machine_spec.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mwx {
+namespace {
+
+TEST(SmtOrderingTest, MoreCoResidentThreadsRunSlower) {
+  // Same total work on an i7 core: 1 thread alone < 2 SMT siblings < 3
+  // threads timesharing one core.
+  auto run = [&](int threads, std::vector<topo::CpuSet> masks) {
+    sim::MachineConfig c;
+    c.spec = topo::core_i7_920();
+    c.sched.noise_bursts_per_second = 0.0;
+    c.n_threads = threads;
+    c.pin_masks = std::move(masks);
+    sim::Machine m(c);
+    sim::PhaseWork w;
+    w.tag = 1;
+    for (int i = 0; i < threads; ++i) w.tasks.push_back({i, 6e5, 0, 0, 0});
+    return m.run_phase(w).duration_seconds();
+  };
+  const double alone = run(1, {topo::CpuSet::of({0})});
+  const double smt_pair = run(2, {topo::CpuSet::of({0}), topo::CpuSet::of({1})});
+  const double triple =
+      run(3, {topo::CpuSet::of({0}), topo::CpuSet::of({1}), topo::CpuSet::of({0})});
+  EXPECT_LT(alone, smt_pair);
+  EXPECT_LT(smt_pair, triple);
+}
+
+TEST(NativeSingleQueueTest, StaticAssignmentThroughSharedPoolMatches) {
+  // Static task list submitted through a single-queue pool: any worker may
+  // run any task (buffer = executing worker), so only tolerance equality is
+  // guaranteed.
+  auto make = [] {
+    auto sys = workloads::make_lj_gas(150, 0.012, 150.0, 21);
+    md::EngineConfig cfg;
+    cfg.n_threads = 3;
+    cfg.temporaries = md::TemporariesMode::InPlace;
+    return md::Engine(std::move(sys), cfg);
+  };
+  md::Engine reference = make();
+  reference.run_inline(15);
+  md::Engine native = make();
+  parallel::FixedThreadPool pool({.n_threads = 3});  // Single queue mode
+  native.run_native(pool, 15);
+  EXPECT_NEAR(units::to_ev(reference.total_energy()), units::to_ev(native.total_energy()),
+              1e-6);
+}
+
+TEST(WorkloadDeterminismTest, SameSeedSameSystem) {
+  for (const auto& name : workloads::benchmark_names()) {
+    const auto a = workloads::make_benchmark(name, 42);
+    const auto b = workloads::make_benchmark(name, 42);
+    ASSERT_EQ(a.system.n_atoms(), b.system.n_atoms());
+    for (int i = 0; i < a.system.n_atoms(); ++i) {
+      EXPECT_EQ(a.system.positions()[static_cast<std::size_t>(i)],
+                b.system.positions()[static_cast<std::size_t>(i)])
+          << name;
+      EXPECT_EQ(a.system.velocities()[static_cast<std::size_t>(i)],
+                b.system.velocities()[static_cast<std::size_t>(i)])
+          << name;
+    }
+  }
+}
+
+TEST(SimDeterminismTest, SameSeedSameTimeline) {
+  auto run = [] {
+    auto spec = workloads::make_benchmark("Al-1000", 7);
+    auto cfg = spec.engine;
+    cfg.n_threads = 4;
+    md::Engine eng(std::move(spec.system), cfg);
+    sim::MachineConfig mc;
+    mc.spec = topo::core_i7_920();
+    mc.sched.seed = 1234;
+    mc.n_threads = 4;
+    sim::Machine machine(mc);
+    eng.run_simulated(machine, 5);
+    return machine.now_seconds();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(PmeNonCubicTest, MatchesDirectEwaldOnOrthorhombicBox) {
+  // 2x2x1 NaCl cells: box 11.28 x 11.28 x 5.64 — exercises per-dimension
+  // k-vectors and fractional coordinates.
+  using namespace md::ewald;
+  const double a = 2.82;
+  const Vec3 box{4 * a, 4 * a, 2 * a};
+  std::vector<Vec3> pos;
+  std::vector<double> q;
+  Rng rng(31);
+  for (int z = 0; z < 2; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        pos.push_back(Vec3{(x + 0.5) * a, (y + 0.5) * a, (z + 0.5) * a} +
+                      Vec3{rng.uniform(-.2, .2), rng.uniform(-.2, .2), rng.uniform(-.2, .2)});
+        q.push_back((x + y + z) % 2 == 0 ? 1.0 : -1.0);
+      }
+    }
+  }
+  EwaldParams p;
+  p.alpha = 0.8;
+  p.r_cutoff = 0.45 * 2 * a;  // limited by the short box edge
+  p.kmax = 14;
+  p.grid = 32;
+  const double e_ref = DirectEwald(box, p).compute(pos, q).energy;
+  const EwaldResult pme = PmeSolver(box, p).compute(pos, q);
+  EXPECT_NEAR(pme.energy, e_ref, std::fabs(e_ref) * 5e-3);
+}
+
+TEST(EngineBackToBackTest, NativeThenSimulatedContinuesConsistently) {
+  // A user can mix backends on one engine: run natively, then hand the same
+  // engine to a simulated machine; physics continues from the same state.
+  auto spec = workloads::make_benchmark("salt", 5);
+  auto cfg = spec.engine;
+  cfg.n_threads = 2;
+  md::Engine eng(std::move(spec.system), cfg);
+  parallel::FixedThreadPool pool(
+      {.n_threads = 2, .queue_mode = parallel::QueueMode::PerThread});
+  eng.run_native(pool, 5);
+  const double e_mid = eng.total_energy();
+  sim::MachineConfig mc;
+  mc.spec = topo::core_i7_920();
+  mc.n_threads = 2;
+  sim::Machine machine(mc);
+  eng.run_simulated(machine, 5);
+  EXPECT_EQ(eng.steps_done(), 10);
+  EXPECT_NE(eng.total_energy(), e_mid);  // time advanced
+  EXPECT_TRUE(std::isfinite(eng.total_energy()));
+}
+
+}  // namespace
+}  // namespace mwx

@@ -1,0 +1,316 @@
+// Force-kernel correctness: every analytic force must equal the negative
+// numerical gradient of the potential energy, and internal forces must sum
+// to zero (Newton's third law).  These properties pin down sign and formula
+// errors in all five interaction kernels at once.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "md/engine.hpp"
+#include "md/system.hpp"
+
+namespace mwx::md {
+namespace {
+
+using units::ev;
+
+EngineConfig quiet_config() {
+  EngineConfig cfg;
+  cfg.n_threads = 1;
+  cfg.cutoff = 6.0;
+  cfg.skin = 1.0;
+  cfg.temporaries = TemporariesMode::InPlace;
+  return cfg;
+}
+
+// Central-difference force on (atom, axis); engine state is restored.
+double numerical_force(Engine& eng, int atom, int axis, double h = 1e-5) {
+  Vec3& x = eng.system().positions()[static_cast<std::size_t>(atom)];
+  const double orig = x[static_cast<std::size_t>(axis)];
+  x[static_cast<std::size_t>(axis)] = orig + h;
+  eng.compute_forces_only();
+  const double pe_plus = eng.potential_energy();
+  x[static_cast<std::size_t>(axis)] = orig - h;
+  eng.compute_forces_only();
+  const double pe_minus = eng.potential_energy();
+  x[static_cast<std::size_t>(axis)] = orig;
+  return -(pe_plus - pe_minus) / (2.0 * h);
+}
+
+void expect_forces_match_gradient(Engine& eng, double rel_tol = 2e-3) {
+  eng.compute_forces_only();
+  const auto acc = eng.system().accelerations();  // copy: acc = F/m
+  const auto& sys = eng.system();
+  double max_abs = 1e-9;
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    if (!sys.movable(i)) continue;
+    max_abs = std::max(max_abs, (acc[static_cast<std::size_t>(i)] * sys.mass(i)).norm());
+  }
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    if (!sys.movable(i)) continue;
+    for (int axis = 0; axis < 3; ++axis) {
+      const double analytic =
+          acc[static_cast<std::size_t>(i)][static_cast<std::size_t>(axis)] * sys.mass(i);
+      const double numeric = numerical_force(eng, i, axis);
+      EXPECT_NEAR(analytic, numeric, rel_tol * max_abs + 1e-9)
+          << "atom " << i << " axis " << axis;
+    }
+  }
+}
+
+void expect_newtons_third_law(Engine& eng) {
+  eng.compute_forces_only();
+  const auto& sys = eng.system();
+  Vec3 total{};
+  for (int i = 0; i < sys.n_atoms(); ++i) {
+    total += sys.accelerations()[static_cast<std::size_t>(i)] * sys.mass(i);
+  }
+  EXPECT_NEAR(total.norm(), 0.0, 1e-10);
+}
+
+AtomTypeTable lj_types() {
+  AtomTypeTable t;
+  t.add({"Ar", 39.95, ev(0.0104), 3.4});
+  return t;
+}
+
+class LjGradient : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LjGradient, ForceEqualsNegativeGradient) {
+  Rng rng(GetParam());
+  MolecularSystem sys(lj_types(), {{0, 0, 0}, {24, 24, 24}});
+  // Jittered 2x2x2 lattice with ~4 Å spacing: interacting but not overlapping.
+  for (int iz = 0; iz < 2; ++iz) {
+    for (int iy = 0; iy < 2; ++iy) {
+      for (int ix = 0; ix < 2; ++ix) {
+        const Vec3 p{8.0 + 4.0 * ix + rng.uniform(-0.4, 0.4),
+                     8.0 + 4.0 * iy + rng.uniform(-0.4, 0.4),
+                     8.0 + 4.0 * iz + rng.uniform(-0.4, 0.4)};
+        sys.add_atom(0, p);
+      }
+    }
+  }
+  Engine eng(std::move(sys), quiet_config());
+  expect_forces_match_gradient(eng);
+  expect_newtons_third_law(eng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LjGradient, ::testing::Values(1, 2, 3, 4, 5));
+
+class CoulombGradient : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoulombGradient, ForceEqualsNegativeGradient) {
+  Rng rng(GetParam());
+  AtomTypeTable types;
+  types.add({"Ion", 30.0, 0.0, 3.0});  // no LJ: isolates the Coulomb kernel
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  for (int i = 0; i < 6; ++i) {
+    sys.add_atom(0, rng.point_in_box({8, 8, 8}, {22, 22, 22}), {},
+                 (i % 2 == 0) ? 1.0 : -1.0);
+  }
+  Engine eng(std::move(sys), quiet_config());
+  expect_forces_match_gradient(eng);
+  expect_newtons_third_law(eng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoulombGradient, ::testing::Values(10, 11, 12, 13));
+
+class BondGradient : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BondGradient, RadialForceEqualsNegativeGradient) {
+  Rng rng(GetParam());
+  AtomTypeTable types;
+  types.add({"C", 12.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  for (int i = 0; i < 4; ++i) {
+    sys.add_atom(0, Vec3{8.0 + 1.6 * i + rng.uniform(-0.2, 0.2),
+                         10.0 + rng.uniform(-0.5, 0.5), 10.0 + rng.uniform(-0.5, 0.5)});
+  }
+  for (int i = 0; i + 1 < 4; ++i) sys.add_radial_bond({i, i + 1, ev(8.0), 1.54});
+  Engine eng(std::move(sys), quiet_config());
+  expect_forces_match_gradient(eng);
+  expect_newtons_third_law(eng);
+}
+
+TEST_P(BondGradient, AngularForceEqualsNegativeGradient) {
+  Rng rng(GetParam() + 100);
+  AtomTypeTable types;
+  types.add({"C", 12.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  for (int i = 0; i < 3; ++i) {
+    sys.add_atom(0, Vec3{8.0 + 1.5 * i, 10.0 + 0.8 * (i % 2), 10.0} +
+                        Vec3{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                             rng.uniform(-0.2, 0.2)});
+  }
+  sys.add_angular_bond({0, 1, 2, ev(2.0), 1.9});
+  Engine eng(std::move(sys), quiet_config());
+  expect_forces_match_gradient(eng);
+  expect_newtons_third_law(eng);
+}
+
+TEST_P(BondGradient, TorsionForceEqualsNegativeGradient) {
+  Rng rng(GetParam() + 200);
+  AtomTypeTable types;
+  types.add({"C", 12.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  // A non-planar 4-atom chain (planar geometry makes phi singular).
+  sys.add_atom(0, Vec3{8, 10, 10} + Vec3{rng.uniform(-0.1, 0.1), 0, 0});
+  sys.add_atom(0, Vec3{9.5, 10.6, 10.2} + Vec3{0, rng.uniform(-0.1, 0.1), 0});
+  sys.add_atom(0, Vec3{11, 10.1, 10.9} + Vec3{0, 0, rng.uniform(-0.1, 0.1)});
+  sys.add_atom(0, Vec3{12.4, 10.9, 11.5} + Vec3{rng.uniform(-0.1, 0.1), 0, 0});
+  sys.add_torsion_bond({0, 1, 2, 3, ev(0.4), 2, 0.5});
+  Engine eng(std::move(sys), quiet_config());
+  expect_forces_match_gradient(eng);
+  expect_newtons_third_law(eng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BondGradient, ::testing::Values(20, 21, 22));
+
+TEST(MixedGradient, AllKernelsTogether) {
+  Rng rng(77);
+  AtomTypeTable types;
+  types.add({"X", 15.0, ev(0.01), 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  for (int i = 0; i < 5; ++i) {
+    sys.add_atom(0, Vec3{8.0 + 1.7 * i, 10.0 + 0.6 * (i % 2), 10.0 + 0.4 * ((i / 2) % 2)},
+                 {}, (i % 2 == 0) ? 0.3 : -0.3);
+  }
+  for (int i = 0; i + 1 < 5; ++i) sys.add_radial_bond({i, i + 1, ev(6.0), 1.8});
+  for (int i = 0; i + 2 < 5; ++i) sys.add_angular_bond({i, i + 1, i + 2, ev(1.0), 2.0});
+  for (int i = 0; i + 3 < 5; ++i) sys.add_torsion_bond({i, i + 1, i + 2, i + 3, ev(0.2), 3, 0.0});
+  Engine eng(std::move(sys), quiet_config());
+  expect_forces_match_gradient(eng, 5e-3);
+  expect_newtons_third_law(eng);
+}
+
+TEST(LjPhysics, MinimumAtTwoToTheSixthSigma) {
+  AtomTypeTable types = lj_types();
+  const double sigma = 3.4;
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * sigma;
+  MolecularSystem sys(types, {{0, 0, 0}, {20, 20, 20}});
+  sys.add_atom(0, {5, 10, 10});
+  sys.add_atom(0, {5 + rmin, 10, 10});
+  EngineConfig cfg = quiet_config();
+  cfg.cutoff = 12.0;
+  Engine eng(std::move(sys), cfg);
+  eng.compute_forces_only();
+  // At the minimum the force vanishes.
+  EXPECT_NEAR(eng.system().accelerations()[0].norm(), 0.0, 1e-10);
+  // And the energy is -epsilon plus the (small) cutoff shift.
+  const double eps = ev(0.0104);
+  EXPECT_NEAR(eng.potential_energy(), -eps, eps * 0.02);
+}
+
+TEST(LjPhysics, RepulsiveInsideAttractiveOutside) {
+  AtomTypeTable types = lj_types();
+  MolecularSystem sys(types, {{0, 0, 0}, {20, 20, 20}});
+  sys.add_atom(0, {5, 10, 10});
+  sys.add_atom(0, {8, 10, 10});  // 3.0 < rmin: repulsive
+  EngineConfig cfg = quiet_config();
+  cfg.cutoff = 12.0;
+  Engine eng(std::move(sys), cfg);
+  eng.compute_forces_only();
+  EXPECT_LT(eng.system().accelerations()[0].x, 0.0) << "pushed apart";
+
+  auto& pos = eng.system().positions();
+  pos[1].x = 5.0 + 4.5;  // > rmin: attractive
+  eng.compute_forces_only();
+  EXPECT_GT(eng.system().accelerations()[0].x, 0.0) << "pulled together";
+}
+
+TEST(LjPhysics, NoInteractionBeyondCutoff) {
+  AtomTypeTable types = lj_types();
+  MolecularSystem sys(types, {{0, 0, 0}, {40, 40, 40}});
+  sys.add_atom(0, {5, 20, 20});
+  sys.add_atom(0, {25, 20, 20});
+  Engine eng(std::move(sys), quiet_config());
+  eng.compute_forces_only();
+  EXPECT_DOUBLE_EQ(eng.system().accelerations()[0].norm(), 0.0);
+  EXPECT_DOUBLE_EQ(eng.potential_energy(), 0.0);
+}
+
+TEST(CoulombPhysics, OppositeChargesAttract) {
+  AtomTypeTable types;
+  types.add({"Ion", 30.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  sys.add_atom(0, {10, 15, 15}, {}, +1.0);
+  sys.add_atom(0, {20, 15, 15}, {}, -1.0);
+  Engine eng(std::move(sys), quiet_config());
+  eng.compute_forces_only();
+  EXPECT_GT(eng.system().accelerations()[0].x, 0.0);
+  EXPECT_LT(eng.system().accelerations()[1].x, 0.0);
+  // V = -k/r at r=10 Å.
+  EXPECT_NEAR(eng.potential_energy(), -units::kCoulomb / 10.0, 1e-12);
+}
+
+TEST(CoulombPhysics, LikeChargesRepel) {
+  AtomTypeTable types;
+  types.add({"Ion", 30.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  sys.add_atom(0, {10, 15, 15}, {}, +1.0);
+  sys.add_atom(0, {20, 15, 15}, {}, +1.0);
+  Engine eng(std::move(sys), quiet_config());
+  eng.compute_forces_only();
+  EXPECT_LT(eng.system().accelerations()[0].x, 0.0);
+  EXPECT_GT(eng.potential_energy(), 0.0);
+}
+
+TEST(CoulombPhysics, NoCutoff) {
+  // Unlike LJ, Coulomb acts at any distance (Section II-B).
+  AtomTypeTable types;
+  types.add({"Ion", 30.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {100, 100, 100}});
+  sys.add_atom(0, {5, 50, 50}, {}, +1.0);
+  sys.add_atom(0, {95, 50, 50}, {}, -1.0);  // 90 Å apart, far past any cutoff
+  Engine eng(std::move(sys), quiet_config());
+  eng.compute_forces_only();
+  EXPECT_GT(eng.system().accelerations()[0].x, 0.0);
+}
+
+TEST(BondPhysics, StretchedBondPullsBack) {
+  AtomTypeTable types;
+  types.add({"C", 12.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {20, 20, 20}});
+  sys.add_atom(0, {5, 10, 10});
+  sys.add_atom(0, {7, 10, 10});  // r = 2.0, r0 = 1.5: stretched
+  sys.add_radial_bond({0, 1, ev(5.0), 1.5});
+  Engine eng(std::move(sys), quiet_config());
+  eng.compute_forces_only();
+  EXPECT_GT(eng.system().accelerations()[0].x, 0.0);
+  EXPECT_NEAR(eng.potential_energy(), 0.5 * ev(5.0) * 0.25, 1e-12);
+}
+
+TEST(BondPhysics, BondedPairExcludedFromLj) {
+  AtomTypeTable types = lj_types();
+  MolecularSystem a(types, {{0, 0, 0}, {20, 20, 20}});
+  a.add_atom(0, {9, 10, 10});
+  a.add_atom(0, {11, 10, 10});
+  Engine plain(std::move(a), quiet_config());
+  plain.compute_forces_only();
+  const double pe_lj = plain.potential_energy();
+  EXPECT_NE(pe_lj, 0.0);
+
+  MolecularSystem b(types, {{0, 0, 0}, {20, 20, 20}});
+  b.add_atom(0, {9, 10, 10});
+  b.add_atom(0, {11, 10, 10});
+  b.add_radial_bond({0, 1, ev(5.0), 2.0});  // at rest length: zero bond energy
+  Engine bonded(std::move(b), quiet_config());
+  bonded.compute_forces_only();
+  EXPECT_NEAR(bonded.potential_energy(), 0.0, 1e-12) << "LJ must be excluded";
+}
+
+TEST(BondPhysics, FixedPairsDoNotInteract) {
+  // nanocar's platform: immovable atoms exert no LJ on one another.
+  AtomTypeTable types = lj_types();
+  MolecularSystem sys(types, {{0, 0, 0}, {20, 20, 20}});
+  sys.add_atom(0, {9, 10, 10}, {}, 0.0, /*movable=*/false);
+  sys.add_atom(0, {11, 10, 10}, {}, 0.0, /*movable=*/false);
+  Engine eng(std::move(sys), quiet_config());
+  eng.compute_forces_only();
+  EXPECT_DOUBLE_EQ(eng.potential_energy(), 0.0);
+}
+
+}  // namespace
+}  // namespace mwx::md

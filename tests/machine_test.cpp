@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "topo/machine_spec.hpp"
+
+namespace mwx::sim {
+namespace {
+
+// Quiet scheduler: no background noise, deterministic-ish placement.
+SchedulerParams quiet_sched(std::uint64_t seed = 1) {
+  SchedulerParams s;
+  s.noise_bursts_per_second = 0.0;
+  s.seed = seed;
+  return s;
+}
+
+MachineConfig base_config(int n_threads) {
+  MachineConfig c;
+  c.spec = topo::core_i7_920();
+  c.sched = quiet_sched();
+  c.n_threads = n_threads;
+  c.record_residency = true;
+  return c;
+}
+
+PhaseWork compute_phase(int n_tasks, double cycles_each, Assignment a = Assignment::Static) {
+  PhaseWork w;
+  w.tag = 1;
+  w.assignment = a;
+  for (int i = 0; i < n_tasks; ++i) {
+    w.tasks.push_back({i, cycles_each, 0, 0, 0});
+  }
+  return w;
+}
+
+// A phase whose tasks stream over disjoint address ranges.
+PhaseWork streaming_phase(int n_tasks, std::uint64_t bytes_per_task) {
+  PhaseWork w;
+  w.tag = 2;
+  for (int i = 0; i < n_tasks; ++i) {
+    SimTask t;
+    t.owner = i;
+    t.access_begin = static_cast<std::uint32_t>(w.accesses.size());
+    const std::uint64_t base = 0x10000000ull * static_cast<std::uint64_t>(i + 1);
+    for (std::uint64_t a = 0; a < bytes_per_task; a += 64) {
+      w.accesses.push_back({base + a, false});
+    }
+    t.access_end = static_cast<std::uint32_t>(w.accesses.size());
+    t.compute_cycles = 0.0;
+    w.tasks.push_back(t);
+  }
+  return w;
+}
+
+TEST(MachineTest, ValidatesConfig) {
+  MachineConfig c = base_config(0);
+  EXPECT_THROW(Machine{c}, ContractError);
+  c = base_config(1);
+  c.pin_masks = {topo::CpuSet::of({200})};  // not on this machine
+  EXPECT_THROW(Machine{c}, ContractError);
+}
+
+TEST(MachineTest, SingleThreadComputeTimeMatchesCost) {
+  Machine m(base_config(1));
+  const double cycles = 1e6;
+  const auto r = m.run_phase(compute_phase(1, cycles));
+  // Duration = wake + dispatch + queue pop + compute + barrier, all small
+  // except compute.
+  const double duration_cycles = r.duration_seconds() * m.config().spec.ghz * 1e9;
+  EXPECT_GT(duration_cycles, cycles);
+  EXPECT_LT(duration_cycles, cycles * 1.02);
+}
+
+TEST(MachineTest, FourThreadsNearLinearOnPureCompute) {
+  const double cycles = 2e6;
+  Machine m1(base_config(1));
+  const double t1 = m1.run_phase(compute_phase(4, cycles)).duration_seconds();
+  Machine m4(base_config(4));
+  const double t4 = m4.run_phase(compute_phase(4, cycles)).duration_seconds();
+  const double speedup = t1 / t4;
+  EXPECT_GT(speedup, 3.5);
+  EXPECT_LT(speedup, 4.1);
+}
+
+TEST(MachineTest, GlobalClockAdvancesAcrossPhases) {
+  Machine m(base_config(2));
+  EXPECT_DOUBLE_EQ(m.now_seconds(), 0.0);
+  m.run_phase(compute_phase(2, 1e5));
+  const double t1 = m.now_seconds();
+  EXPECT_GT(t1, 0.0);
+  m.run_phase(compute_phase(2, 1e5));
+  EXPECT_GT(m.now_seconds(), t1);
+}
+
+TEST(MachineTest, RunSerialAdvancesClock) {
+  Machine m(base_config(1));
+  m.run_serial(2.66e9);  // one second at 2.66 GHz
+  EXPECT_NEAR(m.now_seconds(), 1.0, 1e-9);
+  EXPECT_THROW(m.run_serial(-1.0), ContractError);
+}
+
+TEST(MachineTest, BarrierWaitsForSlowestTask) {
+  Machine m(base_config(4));
+  PhaseWork w = compute_phase(4, 1e5);
+  w.tasks[2].compute_cycles = 2e6;  // one straggler
+  const auto r = m.run_phase(w);
+  // Phase end is bounded below by the straggler's work.
+  EXPECT_GT(r.duration_seconds(), m.to_seconds(2e6));
+  // Everyone's arrival is at most the phase end.
+  for (double a : r.arrival_seconds) EXPECT_LE(a, r.end_seconds);
+  // Barrier wait accumulates for the three fast threads.
+  EXPECT_GT(m.counters().barrier_wait_cycles, 3 * 1.5e6);
+}
+
+TEST(MachineTest, EventLogRecordsTasksPerThread) {
+  Machine m(base_config(2));
+  m.run_phase(compute_phase(4, 1e5));
+  EXPECT_EQ(m.event_log().total_events(), 4u);
+  for (int t = 0; t < 2; ++t) {
+    for (const auto& e : m.event_log().events_of(t)) {
+      EXPECT_EQ(e.tag, 1);
+      EXPECT_GE(e.core, 0);
+      EXPECT_LT(e.begin, e.end);
+    }
+  }
+}
+
+TEST(MachineTest, BusySecondsSumMatchesWork) {
+  Machine m(base_config(2));
+  const auto r = m.run_phase(compute_phase(2, 1e6));
+  const double total_busy = r.busy_seconds[0] + r.busy_seconds[1];
+  EXPECT_NEAR(total_busy, m.to_seconds(2e6), m.to_seconds(2e6) * 0.05);
+}
+
+TEST(MachineTest, SharedQueueSerializesTinyTasks) {
+  // 4 threads fighting over a queue of 4000 near-empty tasks: lock wait must
+  // dominate; with private queues it must be zero.
+  MachineConfig c = base_config(4);
+  Machine shared(c);
+  shared.run_phase(compute_phase(4000, 10.0, Assignment::SharedQueue));
+  EXPECT_GT(shared.counters().queue_wait_cycles, 1e5);
+
+  Machine priv(base_config(4));
+  priv.run_phase(compute_phase(4000, 10.0, Assignment::Static));
+  EXPECT_DOUBLE_EQ(priv.counters().queue_wait_cycles, 0.0);
+}
+
+TEST(MachineTest, MonitorUpdatesSerializeThreads) {
+  // Tasks that do nothing but synchronized monitor updates: total time must
+  // be at least (total updates x hold time) regardless of thread count —
+  // the Section IV-A observer effect.
+  MachineConfig c = base_config(4);
+  Machine m(c);
+  PhaseWork w = compute_phase(4, 1000.0);
+  const int updates = 500;
+  for (auto& t : w.tasks) t.monitor_updates = updates;
+  const auto r = m.run_phase(w);
+  const double serialized_cycles = 4.0 * updates * c.cost.monitor_lock_hold_cycles;
+  EXPECT_GE(r.duration_seconds() * c.spec.ghz * 1e9, serialized_cycles * 0.95);
+  EXPECT_GT(m.counters().monitor_wait_cycles, 0.0);
+}
+
+TEST(MachineTest, MemoryBandwidthLimitsStreamingSpeedup) {
+  // 16 MiB per task streamed cold from DRAM: compute-free, so scaling is
+  // bounded by the single memory controller, not by core count.
+  const std::uint64_t bytes = 16ull << 20;
+  Machine m1(base_config(1));
+  const double t1 = m1.run_phase(streaming_phase(4, bytes / 4)).duration_seconds();
+  Machine m4(base_config(4));
+  const double t4 = m4.run_phase(streaming_phase(4, bytes / 4)).duration_seconds();
+  const double speedup = t1 / t4;
+  EXPECT_LT(speedup, 2.5);
+  EXPECT_GT(m4.counters().dram_queue_cycles, 0.0);
+  EXPECT_GT(m4.counters().dram_line_fetches, 100000);
+}
+
+TEST(MachineTest, CacheResidentWorkloadDoesNotTouchDram) {
+  Machine m(base_config(1));
+  // 8 KiB working set touched repeatedly: only cold misses reach DRAM.
+  PhaseWork w;
+  w.tag = 3;
+  SimTask t;
+  t.owner = 0;
+  t.access_begin = 0;
+  for (int pass = 0; pass < 10; ++pass) {
+    for (std::uint64_t a = 0; a < 8192; a += 64) w.accesses.push_back({0x5000000 + a, false});
+  }
+  t.access_end = static_cast<std::uint32_t>(w.accesses.size());
+  w.tasks.push_back(t);
+  m.run_phase(w);
+  EXPECT_EQ(m.counters().dram_line_fetches, 128);  // 8 KiB / 64 B, cold only
+  EXPECT_GT(m.counters().l1.hits, 1000);
+}
+
+TEST(MachineTest, DirtyLinesWriteBack) {
+  Machine m(base_config(1));
+  // Write a multi-MB stream twice the L3 size so dirty lines must be evicted.
+  PhaseWork w;
+  w.tag = 4;
+  SimTask t;
+  t.owner = 0;
+  t.access_begin = 0;
+  for (std::uint64_t a = 0; a < (20ull << 20); a += 64) w.accesses.push_back({a, true});
+  t.access_end = static_cast<std::uint32_t>(w.accesses.size());
+  w.tasks.push_back(t);
+  m.run_phase(w);
+  EXPECT_GT(m.counters().dram_writebacks, 100000);
+}
+
+TEST(MachineTest, AffinityMaskRespected) {
+  MachineConfig c = base_config(2);
+  c.pin_masks = {topo::CpuSet::of({0}), topo::CpuSet::of({2})};
+  Machine m(c);
+  m.run_phase(compute_phase(2, 1e6));
+  for (const auto& seg : m.residency()) {
+    EXPECT_EQ(seg.pu, seg.thread == 0 ? 0 : 2);
+  }
+}
+
+TEST(MachineTest, UnpinnedThreadsMigrate) {
+  MachineConfig c = base_config(4);
+  c.sched.stay_probability = 0.0;
+  Machine m(c);
+  for (int phase = 0; phase < 50; ++phase) m.run_phase(compute_phase(4, 1e4));
+  EXPECT_GT(m.counters().migrations, 20);
+}
+
+TEST(MachineTest, PinnedThreadsNeverMigrate) {
+  MachineConfig c = base_config(4);
+  c.pin_masks = {topo::CpuSet::of({0}), topo::CpuSet::of({2}), topo::CpuSet::of({4}),
+                 topo::CpuSet::of({6})};
+  Machine m(c);
+  for (int phase = 0; phase < 50; ++phase) m.run_phase(compute_phase(4, 1e4));
+  EXPECT_EQ(m.counters().migrations, 0);
+}
+
+TEST(MachineTest, SmtSiblingsShareCoreThroughput) {
+  // Two threads on SMT siblings of one core vs on two separate cores.
+  MachineConfig shared_core = base_config(2);
+  shared_core.pin_masks = {topo::CpuSet::of({0}), topo::CpuSet::of({1})};
+  Machine ms(shared_core);
+  const double t_shared = ms.run_phase(compute_phase(2, 2e6)).duration_seconds();
+
+  MachineConfig split = base_config(2);
+  split.pin_masks = {topo::CpuSet::of({0}), topo::CpuSet::of({2})};
+  Machine mp(split);
+  const double t_split = mp.run_phase(compute_phase(2, 2e6)).duration_seconds();
+
+  EXPECT_GT(t_shared, t_split * 1.3);
+}
+
+TEST(MachineTest, NoiseStallsPinnedThreads) {
+  MachineConfig c = base_config(1);
+  c.pin_masks = {topo::CpuSet::of({0})};
+  c.sched.noise_bursts_per_second = 2000.0;
+  c.sched.noise_burst_seconds = 300e-6;
+  Machine m(c);
+  for (int phase = 0; phase < 20; ++phase) m.run_phase(compute_phase(1, 3e6));
+  EXPECT_GT(m.counters().noise_stall_cycles, 0.0);
+}
+
+TEST(MachineTest, UnpinnedThreadsDodgeNoise) {
+  // With spare cores available, the woken thread migrates instead of
+  // stalling; stall cycles should be much lower than in the pinned case.
+  MachineConfig pinned = base_config(1);
+  pinned.pin_masks = {topo::CpuSet::of({0})};
+  pinned.sched.noise_bursts_per_second = 2000.0;
+  pinned.sched.noise_burst_seconds = 300e-6;
+  Machine mp(pinned);
+  for (int phase = 0; phase < 20; ++phase) mp.run_phase(compute_phase(1, 3e6));
+
+  MachineConfig free_cfg = base_config(1);
+  free_cfg.sched.noise_bursts_per_second = 2000.0;
+  free_cfg.sched.noise_burst_seconds = 300e-6;
+  Machine mf(free_cfg);
+  for (int phase = 0; phase < 20; ++phase) mf.run_phase(compute_phase(1, 3e6));
+
+  EXPECT_LT(mf.counters().noise_stall_cycles, mp.counters().noise_stall_cycles * 0.5);
+}
+
+TEST(MachineTest, InstrumentationAgentSlowsPhase) {
+  Machine plain(base_config(4));
+  const double t_plain = plain.run_phase(compute_phase(4, 1e6)).duration_seconds();
+
+  MachineConfig with_agent = base_config(4);
+  with_agent.instrumentation_agent = true;
+  Machine agent(with_agent);
+  PhaseWork w = compute_phase(4, 1e6);
+  const double t_agent = agent.run_phase(w, /*instr_calls_per_task=*/2000).duration_seconds();
+  EXPECT_GT(t_agent, t_plain * 1.2);
+}
+
+TEST(MachineTest, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    MachineConfig c = base_config(4);
+    c.sched.seed = 99;
+    c.sched.noise_bursts_per_second = 100.0;
+    Machine m(c);
+    double sum = 0.0;
+    for (int phase = 0; phase < 10; ++phase) {
+      sum += m.run_phase(compute_phase(8, 5e5)).duration_seconds();
+    }
+    return sum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(MachineTest, ResetCountersClears) {
+  Machine m(base_config(1));
+  m.run_phase(streaming_phase(1, 1 << 20));
+  EXPECT_GT(m.counters().dram_line_fetches, 0);
+  m.reset_counters();
+  EXPECT_EQ(m.counters().dram_line_fetches, 0);
+  EXPECT_EQ(m.counters().l1.misses, 0);
+}
+
+TEST(MachineTest, SetAffinityRestrictsFuturePlacement) {
+  Machine m(base_config(1));
+  m.set_affinity(0, topo::CpuSet::of({6}));
+  m.run_phase(compute_phase(1, 1e5));
+  ASSERT_FALSE(m.residency().empty());
+  EXPECT_EQ(m.residency().back().pu, 6);
+  EXPECT_THROW(m.set_affinity(0, topo::CpuSet::of({100})), ContractError);
+  EXPECT_THROW(m.set_affinity(5, topo::CpuSet::of({0})), ContractError);
+}
+
+TEST(MachineTest, MoreTasksThanThreadsAllExecute) {
+  Machine m(base_config(3));
+  const auto r = m.run_phase(compute_phase(10, 1e5));
+  EXPECT_EQ(m.event_log().total_events(), 10u);
+  double busy = 0.0;
+  for (double b : r.busy_seconds) busy += b;
+  EXPECT_NEAR(busy, m.to_seconds(1e6), m.to_seconds(1e6) * 0.1);
+}
+
+TEST(MachineTest, LlcSharingVisibleAcrossThreads) {
+  // Thread 0 loads a block; thread 1 (same package, different core) then
+  // reads it: L3 hits, not DRAM fetches.
+  MachineConfig c = base_config(2);
+  c.pin_masks = {topo::CpuSet::of({0}), topo::CpuSet::of({2})};
+  Machine m(c);
+  PhaseWork warm;
+  warm.tag = 1;
+  SimTask t0;
+  t0.owner = 0;
+  t0.access_begin = 0;
+  for (std::uint64_t a = 0; a < (1 << 20); a += 64) warm.accesses.push_back({a, false});
+  t0.access_end = static_cast<std::uint32_t>(warm.accesses.size());
+  warm.tasks.push_back(t0);
+  m.run_phase(warm);
+  const long long fetches_after_warm = m.counters().dram_line_fetches;
+
+  PhaseWork reuse;
+  reuse.tag = 2;
+  SimTask t1;
+  t1.owner = 1;
+  t1.access_begin = 0;
+  for (std::uint64_t a = 0; a < (1 << 20); a += 64) reuse.accesses.push_back({a, false});
+  t1.access_end = static_cast<std::uint32_t>(reuse.accesses.size());
+  reuse.tasks.push_back(t1);
+  m.run_phase(reuse);
+  // The second pass must be nearly free of DRAM fetches.
+  EXPECT_LT(m.counters().dram_line_fetches - fetches_after_warm, 200);
+}
+
+}  // namespace
+}  // namespace mwx::sim

@@ -1,0 +1,303 @@
+// Tests for the MD substrate: system container, heap-layout model, linked
+// cells, neighbor lists.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "md/cell_grid.hpp"
+#include "md/layout.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/system.hpp"
+
+namespace mwx::md {
+namespace {
+
+AtomTypeTable one_type() {
+  AtomTypeTable t;
+  t.add({"Ar", 39.95, units::ev(0.0104), 3.4});
+  return t;
+}
+
+TEST(SystemTest, AddAtomBasics) {
+  MolecularSystem sys(one_type(), {{0, 0, 0}, {10, 10, 10}});
+  const int i = sys.add_atom(0, {1, 2, 3}, {0.1, 0, 0}, 0.5);
+  EXPECT_EQ(i, 0);
+  EXPECT_EQ(sys.n_atoms(), 1);
+  EXPECT_EQ(sys.n_charged(), 1);
+  EXPECT_EQ(sys.positions()[0], Vec3(1, 2, 3));
+  EXPECT_DOUBLE_EQ(sys.charge(0), 0.5);
+  EXPECT_TRUE(sys.movable(0));
+  EXPECT_DOUBLE_EQ(sys.mass(0), 39.95);
+  EXPECT_DOUBLE_EQ(sys.inv_mass(0), 1.0 / 39.95);
+}
+
+TEST(SystemTest, RejectsBadAtoms) {
+  MolecularSystem sys(one_type(), {{0, 0, 0}, {10, 10, 10}});
+  EXPECT_THROW(sys.add_atom(5, {1, 1, 1}), ContractError);     // unknown type
+  EXPECT_THROW(sys.add_atom(0, {11, 1, 1}), ContractError);    // outside box
+  EXPECT_THROW(sys.add_atom(0, {-1, 1, 1}), ContractError);
+}
+
+TEST(SystemTest, ImmovableAtomHasNoVelocity) {
+  MolecularSystem sys(one_type(), {{0, 0, 0}, {10, 10, 10}});
+  const int i = sys.add_atom(0, {5, 5, 5}, {1, 1, 1}, 0.0, /*movable=*/false);
+  EXPECT_EQ(sys.velocities()[static_cast<std::size_t>(i)], Vec3(0, 0, 0));
+  EXPECT_DOUBLE_EQ(sys.inv_mass(i), 0.0);
+  EXPECT_EQ(sys.n_movable(), 0);
+}
+
+TEST(SystemTest, ChargedIndicesTrackChargedAtoms) {
+  MolecularSystem sys(one_type(), {{0, 0, 0}, {10, 10, 10}});
+  sys.add_atom(0, {1, 1, 1}, {}, 0.0);
+  sys.add_atom(0, {2, 2, 2}, {}, 1.0);
+  sys.add_atom(0, {3, 3, 3}, {}, -1.0);
+  EXPECT_EQ(sys.charged_indices(), (std::vector<int>{1, 2}));
+}
+
+TEST(SystemTest, BondValidation) {
+  MolecularSystem sys(one_type(), {{0, 0, 0}, {10, 10, 10}});
+  sys.add_atom(0, {1, 1, 1});
+  sys.add_atom(0, {2, 2, 2});
+  sys.add_atom(0, {3, 3, 3});
+  EXPECT_THROW(sys.add_radial_bond({0, 0, 1.0, 1.0}), ContractError);
+  EXPECT_THROW(sys.add_radial_bond({0, 9, 1.0, 1.0}), ContractError);
+  EXPECT_THROW(sys.add_angular_bond({0, 1, 1, 1.0, 1.0}), ContractError);
+  sys.add_radial_bond({0, 1, 1.0, 1.0});
+  sys.add_angular_bond({0, 1, 2, 1.0, 1.5});
+  sys.add_torsion_bond({0, 1, 2, 0, 1.0, 1, 0.0});
+  EXPECT_EQ(sys.n_bonds_total(), 3);
+}
+
+TEST(SystemTest, ExclusionsFollowRadialBonds) {
+  MolecularSystem sys(one_type(), {{0, 0, 0}, {10, 10, 10}});
+  sys.add_atom(0, {1, 1, 1});
+  sys.add_atom(0, {2, 2, 2});
+  sys.add_atom(0, {3, 3, 3});
+  EXPECT_FALSE(sys.excluded(0, 1));
+  sys.add_radial_bond({0, 1, 1.0, 1.0});
+  EXPECT_TRUE(sys.excluded(0, 1));
+  EXPECT_TRUE(sys.excluded(1, 0));  // symmetric
+  EXPECT_FALSE(sys.excluded(0, 2));
+}
+
+TEST(SystemTest, MixingRules) {
+  AtomTypeTable types;
+  types.add({"A", 1.0, 4.0, 2.0});
+  types.add({"B", 1.0, 9.0, 4.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {10, 10, 10}});
+  EXPECT_DOUBLE_EQ(sys.lj_epsilon(0, 1), 6.0);  // sqrt(4*9)
+  EXPECT_DOUBLE_EQ(sys.lj_sigma(0, 1), 3.0);    // (2+4)/2
+  EXPECT_DOUBLE_EQ(sys.lj_epsilon(0, 0), 4.0);
+}
+
+TEST(SystemTest, MomentumAndKineticEnergy) {
+  MolecularSystem sys(one_type(), {{0, 0, 0}, {10, 10, 10}});
+  sys.add_atom(0, {1, 1, 1}, {1, 0, 0});
+  sys.add_atom(0, {2, 2, 2}, {-1, 0, 0});
+  const Vec3 p = sys.total_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(sys.kinetic_energy(), 39.95, 1e-12);  // 2 * (1/2 m v^2)
+}
+
+// --- Heap layout -------------------------------------------------------------
+
+TEST(HeapModelTest, FieldsHaveDistinctAddresses) {
+  HeapModel h({.layout = Layout::JavaObjects}, 100);
+  std::set<std::uint64_t> addrs;
+  for (int i = 0; i < 100; ++i) {
+    addrs.insert(h.pos_addr(i));
+    addrs.insert(h.vel_addr(i));
+    addrs.insert(h.acc_addr(i));
+    addrs.insert(h.force_addr(i));
+    addrs.insert(h.meta_addr(i));
+  }
+  EXPECT_EQ(addrs.size(), 500u);
+}
+
+TEST(HeapModelTest, JavaObjectsClusterPerAtom) {
+  HeapModel h({.layout = Layout::JavaObjects}, 10);
+  // Each atom's fields live within one object cluster (atom + 4 Vec3s).
+  const std::uint64_t stride = h.meta_addr(1) - h.meta_addr(0);
+  EXPECT_EQ(stride, 64u + 4u * 32u);
+  EXPECT_LT(h.force_addr(0), h.meta_addr(1));
+}
+
+TEST(HeapModelTest, PackedSoAIsContiguousPerField) {
+  HeapModel h({.layout = Layout::PackedSoA}, 10);
+  for (int i = 0; i + 1 < 10; ++i) {
+    EXPECT_EQ(h.pos_addr(i + 1) - h.pos_addr(i), 24u);
+    EXPECT_EQ(h.vel_addr(i + 1) - h.vel_addr(i), 24u);
+  }
+  // Different fields live in different array lanes.
+  EXPECT_GE(h.vel_addr(0), h.pos_addr(9) + 24);
+}
+
+TEST(HeapModelTest, ReorderMovesObjectsOnlyWhenAllowed) {
+  const int n = 8;
+  std::vector<int> reversed(n);
+  for (int i = 0; i < n; ++i) reversed[static_cast<std::size_t>(i)] = n - 1 - i;
+
+  HeapModel java({.layout = Layout::JavaObjects}, n);
+  const std::uint64_t before = java.pos_addr(0);
+  java.reorder(reversed);
+  EXPECT_EQ(java.pos_addr(0), before) << "the Java memory manager ignores the request";
+
+  HeapModel re({.layout = Layout::ReorderedObjects}, n);
+  const std::uint64_t first_slot = re.pos_addr(0);
+  re.reorder(reversed);
+  EXPECT_EQ(re.pos_addr(n - 1), first_slot) << "atom n-1 now occupies slot 0";
+}
+
+TEST(HeapModelTest, ReorderValidatesPermutation) {
+  HeapModel h({.layout = Layout::ReorderedObjects}, 4);
+  EXPECT_THROW(h.reorder({0, 1}), ContractError);
+  EXPECT_THROW(h.reorder({0, 1, 2, 9}), ContractError);
+}
+
+TEST(HeapModelTest, TempAllocationBumpsAndWraps) {
+  HeapConfig cfg;
+  cfg.heap_bytes = 1;  // forces the minimum 1 MiB young region
+  HeapModel h(cfg, 4);
+  const std::uint64_t a0 = h.alloc_temp();
+  const std::uint64_t a1 = h.alloc_temp();
+  EXPECT_EQ(a1 - a0, 32u);
+  // Wrap the 1 MiB region: 32768 allocations per wrap.
+  for (int i = 0; i < 40000; ++i) h.alloc_temp();
+  EXPECT_GE(h.gc_count(), 1);
+  EXPECT_EQ(h.temp_allocations(), 2 + 40000);
+  EXPECT_EQ(h.take_new_gcs(), h.gc_count());
+  EXPECT_EQ(h.take_new_gcs(), 0);
+}
+
+TEST(HeapModelTest, NeighborAndPrivateRegionsDisjointFromObjects) {
+  HeapModel h({.layout = Layout::JavaObjects}, 50);
+  const std::uint64_t last_obj = h.force_addr(49);
+  EXPECT_GT(h.neighbor_entry_addr(0), last_obj);
+  EXPECT_GT(h.private_force_addr(0, 0), h.neighbor_entry_addr(0));
+}
+
+// --- Cell grid ---------------------------------------------------------------
+
+TEST(CellGridTest, GeometryFromReach) {
+  CellGrid g({0, 0, 0}, {30, 20, 10}, 5.0);
+  EXPECT_EQ(g.nx(), 6);
+  EXPECT_EQ(g.ny(), 4);
+  EXPECT_EQ(g.nz(), 2);
+  EXPECT_EQ(g.n_cells(), 48);
+}
+
+TEST(CellGridTest, DegenerateInputsRejected) {
+  EXPECT_THROW(CellGrid({0, 0, 0}, {10, 10, 10}, 0.0), ContractError);
+  EXPECT_THROW(CellGrid({0, 0, 0}, {0, 10, 10}, 2.0), ContractError);
+}
+
+TEST(CellGridTest, EveryAtomBinnedToItsCell) {
+  Rng rng(5);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 500; ++i) pos.push_back(rng.point_in_box({0, 0, 0}, {30, 30, 30}));
+  CellGrid g({0, 0, 0}, {30, 30, 30}, 6.0);
+  g.bin(pos);
+  EXPECT_EQ(g.n_binned(), 500u);
+  int found = 0;
+  for (int c = 0; c < g.n_cells(); ++c) {
+    for (const int* it = g.cell_begin(c); it != g.cell_end(c); ++it) {
+      EXPECT_EQ(g.cell_of(pos[static_cast<std::size_t>(*it)]), c);
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, 500);
+}
+
+TEST(CellGridTest, NeighborCellCounts) {
+  CellGrid g({0, 0, 0}, {30, 30, 30}, 6.0);  // 5x5x5 cells
+  int out[27];
+  // Corner cell: 2x2x2 neighborhood.
+  EXPECT_EQ(g.neighbor_cells(g.cell_of({0.1, 0.1, 0.1}), out), 8);
+  // Center cell: full 27.
+  EXPECT_EQ(g.neighbor_cells(g.cell_of({15, 15, 15}), out), 27);
+  // Face center: 3x3x2 = 18.
+  EXPECT_EQ(g.neighbor_cells(g.cell_of({15, 15, 0.1}), out), 18);
+}
+
+TEST(CellGridTest, PairsWithinReachAreInAdjacentCells) {
+  // The linked-cell invariant behind the whole O(N) scheme.
+  Rng rng(7);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 300; ++i) pos.push_back(rng.point_in_box({0, 0, 0}, {25, 25, 25}));
+  const double reach = 5.0;
+  CellGrid g({0, 0, 0}, {25, 25, 25}, reach);
+  g.bin(pos);
+  int out[27];
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const int ci = g.cell_of(pos[i]);
+    const int nc = g.neighbor_cells(ci, out);
+    std::set<int> adjacent(out, out + nc);
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      if (i == j) continue;
+      if (distance(pos[i], pos[j]) <= reach) {
+        EXPECT_TRUE(adjacent.count(g.cell_of(pos[j])) > 0)
+            << "atoms " << i << "," << j << " within reach but not in adjacent cells";
+      }
+    }
+  }
+}
+
+TEST(CellGridTest, OutOfBoxPositionsClampToEdgeCells) {
+  CellGrid g({0, 0, 0}, {10, 10, 10}, 5.0);
+  EXPECT_EQ(g.cell_of({-3, -3, -3}), g.cell_of({0.1, 0.1, 0.1}));
+  EXPECT_EQ(g.cell_of({13, 13, 13}), g.cell_of({9.9, 9.9, 9.9}));
+}
+
+// --- Neighbor list -----------------------------------------------------------
+
+TEST(NeighborListTest, Validation) {
+  EXPECT_THROW(NeighborList(0, 2.0, 0.5), ContractError);
+  EXPECT_THROW(NeighborList(10, -1.0, 0.5), ContractError);
+  NeighborList nl(10, 2.0, 0.5, 4);
+  EXPECT_EQ(nl.capacity(), 4);
+  EXPECT_DOUBLE_EQ(nl.reach(), 2.5);
+}
+
+TEST(NeighborListTest, CapacityOverflowThrows) {
+  NeighborList nl(4, 2.0, 0.5, 2);
+  nl.begin_rebuild({{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}});
+  nl.clear_atom(0);
+  nl.add_neighbor(0, 1);
+  nl.add_neighbor(0, 2);
+  EXPECT_THROW(nl.add_neighbor(0, 3), ContractError);
+}
+
+TEST(NeighborListTest, SkinTriggerPerDimension) {
+  NeighborList nl(2, 3.0, 1.0);
+  std::vector<Vec3> pos{{5, 5, 5}, {7, 5, 5}};
+  nl.begin_rebuild(pos);
+  nl.end_rebuild();
+  EXPECT_FALSE(nl.chunk_exceeds_skin(pos, 0, 2));
+  // Move one atom by 0.4 in y: under skin/2 = 0.5.
+  pos[1].y += 0.4;
+  EXPECT_FALSE(nl.chunk_exceeds_skin(pos, 0, 2));
+  pos[1].y += 0.2;  // total 0.6 > 0.5
+  EXPECT_TRUE(nl.chunk_exceeds_skin(pos, 0, 2));
+  // Chunk that excludes the moved atom stays valid.
+  EXPECT_FALSE(nl.chunk_exceeds_skin(pos, 0, 1));
+}
+
+TEST(NeighborListTest, NeverBuiltAlwaysInvalid) {
+  NeighborList nl(2, 3.0, 1.0);
+  const std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}};
+  EXPECT_TRUE(nl.chunk_exceeds_skin(pos, 0, 2));
+  EXPECT_FALSE(nl.ever_built());
+}
+
+TEST(NeighborListTest, EntryIndexIsSlotBased) {
+  NeighborList nl(3, 2.0, 0.5, 16);
+  EXPECT_EQ(nl.entry_index(0, 0), 0u);
+  EXPECT_EQ(nl.entry_index(1, 3), 19u);
+  EXPECT_EQ(nl.entry_index(2, 0), 32u);
+}
+
+}  // namespace
+}  // namespace mwx::md

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.hpp"
+#include "md/engine.hpp"
+#include "md/observables.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mwx::md {
+namespace {
+
+TEST(ObservablesTest, TemperatureMatchesKineticEnergy) {
+  auto sys = workloads::make_lj_gas(200, 0.01, 250.0, 3);
+  const double t = temperature_kelvin(sys);
+  // Maxwell-Boltzmann sampling at 250 K: instantaneous T close to target.
+  EXPECT_NEAR(t, 250.0, 40.0);
+}
+
+TEST(ObservablesTest, RescaleHitsTargetExactly) {
+  auto sys = workloads::make_lj_gas(100, 0.01, 300.0, 4);
+  rescale_to_temperature(sys, 150.0);
+  EXPECT_NEAR(temperature_kelvin(sys), 150.0, 1e-9);
+  rescale_to_temperature(sys, 0.0);
+  EXPECT_NEAR(sys.kinetic_energy(), 0.0, 1e-15);
+}
+
+TEST(ObservablesTest, BerendsenDrivesTowardTarget) {
+  auto sys = workloads::make_lj_gas(100, 0.01, 400.0, 4);
+  const double t0 = temperature_kelvin(sys);
+  double lambda_last = 1.0;
+  for (int i = 0; i < 600; ++i) lambda_last = berendsen_step(sys, 100.0, 1.0, 50.0);
+  EXPECT_LT(temperature_kelvin(sys), t0);
+  EXPECT_NEAR(temperature_kelvin(sys), 100.0, 5.0);
+  EXPECT_NEAR(lambda_last, 1.0, 0.05);  // converged: scale ~1
+}
+
+TEST(ObservablesTest, BerendsenValidatesArguments) {
+  auto sys = workloads::make_lj_gas(10, 0.01, 300.0, 1);
+  EXPECT_THROW(berendsen_step(sys, 100.0, 1.0, 0.0), ContractError);
+  EXPECT_THROW(berendsen_step(sys, 100.0, 0.0, 10.0), ContractError);
+}
+
+TEST(ObservablesTest, RdfOfLatticePeaksAtShellDistances) {
+  // fcc-like Al block: strong first peak near the nearest-neighbor distance
+  // (2.86 Å), depleted below it.
+  auto spec = workloads::make_al1000(3);
+  const auto g = radial_distribution(spec.system, 10.0, 100);  // 0.1 Å bins
+  // Hard core: nothing below 2 Å.
+  for (int b = 0; b < 20; ++b) EXPECT_EQ(g[static_cast<std::size_t>(b)], 0.0);
+  // First shell: bins around 2.8-2.9 Å well above background.
+  double peak = 0.0;
+  for (int b = 26; b <= 31; ++b) peak = std::max(peak, g[static_cast<std::size_t>(b)]);
+  EXPECT_GT(peak, 3.0);
+}
+
+TEST(ObservablesTest, RdfValidation) {
+  auto sys = workloads::make_lj_gas(20, 0.01, 100.0, 1);
+  EXPECT_THROW(radial_distribution(sys, -1.0, 10), ContractError);
+  EXPECT_THROW(radial_distribution(sys, 5.0, 0), ContractError);
+}
+
+TEST(ObservablesTest, MsdZeroAtReferenceGrowsAfterMotion) {
+  auto spec = workloads::make_al1000(3);
+  auto cfg = spec.engine;
+  cfg.n_threads = 1;
+  cfg.temporaries = TemporariesMode::InPlace;
+  Engine eng(std::move(spec.system), cfg);
+  const std::vector<Vec3> ref = eng.system().positions();
+  EXPECT_DOUBLE_EQ(mean_squared_displacement(eng.system(), ref), 0.0);
+  eng.run_inline(50);
+  EXPECT_GT(mean_squared_displacement(eng.system(), ref), 1e-4);
+}
+
+TEST(ObservablesTest, MsdIgnoresImmovableAtoms) {
+  auto spec = workloads::make_nanocar(11);
+  const std::vector<Vec3> ref = spec.system.positions();
+  // Shift only the platform (immovable) in the reference: MSD must stay 0.
+  std::vector<Vec3> shifted = ref;
+  for (int i = 0; i < spec.system.n_atoms(); ++i) {
+    if (!spec.system.movable(i)) shifted[static_cast<std::size_t>(i)] += Vec3{5, 5, 5};
+  }
+  EXPECT_DOUBLE_EQ(mean_squared_displacement(spec.system, shifted), 0.0);
+}
+
+TEST(ObservablesTest, XyzFrameFormat) {
+  AtomTypeTable types;
+  types.add({"Ar", 39.95, 0.0, 3.4});
+  MolecularSystem sys(types, {{0, 0, 0}, {10, 10, 10}});
+  sys.add_atom(0, {1, 2, 3});
+  sys.add_atom(0, {4, 5, 6});
+  std::ostringstream os;
+  write_xyz_frame(os, sys, "frame 0");
+  std::istringstream in(os.str());
+  int n;
+  in >> n;
+  EXPECT_EQ(n, 2);
+  std::string comment;
+  std::getline(in, comment);  // rest of count line
+  std::getline(in, comment);
+  EXPECT_EQ(comment, "frame 0");
+  std::string el;
+  double x, y, z;
+  in >> el >> x >> y >> z;
+  EXPECT_EQ(el, "Ar");
+  EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_DOUBLE_EQ(z, 3.0);
+}
+
+TEST(ObservablesTest, ThermostattedRunHoldsTemperature) {
+  // Berendsen-coupled engine run: temperature stays near target while the
+  // system evolves (the equilibration workflow the examples use).
+  auto sys = workloads::make_lj_gas(125, 0.012, 150.0, 7);
+  EngineConfig cfg;
+  cfg.n_threads = 1;
+  cfg.dt_fs = 2.0;
+  cfg.temporaries = TemporariesMode::InPlace;
+  Engine eng(std::move(sys), cfg);
+  for (int burst = 0; burst < 20; ++burst) {
+    eng.run_inline(10);
+    berendsen_step(eng.system(), 150.0, 20.0, 100.0);
+  }
+  EXPECT_NEAR(temperature_kelvin(eng.system()), 150.0, 50.0);
+}
+
+}  // namespace
+}  // namespace mwx::md

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "parallel/affinity.hpp"
+#include "parallel/barrier.hpp"
+#include "parallel/latch.hpp"
+#include "parallel/task_queue.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mwx::parallel {
+namespace {
+
+TEST(LatchTest, CountsDownToZero) {
+  CountDownLatch latch(3);
+  EXPECT_EQ(latch.count(), 3);
+  latch.count_down();
+  latch.count_down();
+  EXPECT_EQ(latch.count(), 1);
+  latch.count_down();
+  EXPECT_EQ(latch.count(), 0);
+  latch.await();  // returns immediately at zero
+}
+
+TEST(LatchTest, ZeroLatchAwaitsImmediately) {
+  CountDownLatch latch(0);
+  latch.await();
+}
+
+TEST(LatchTest, BelowZeroThrows) {
+  CountDownLatch latch(1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), ContractError);
+}
+
+TEST(LatchTest, NegativeCountRejected) { EXPECT_THROW(CountDownLatch{-1}, ContractError); }
+
+TEST(LatchTest, CrossThreadRelease) {
+  CountDownLatch latch(2);
+  std::atomic<int> done{0};
+  std::thread t1([&] {
+    ++done;
+    latch.count_down();
+  });
+  std::thread t2([&] {
+    ++done;
+    latch.count_down();
+  });
+  latch.await();
+  EXPECT_EQ(done.load(), 2);
+  t1.join();
+  t2.join();
+}
+
+TEST(BarrierTest, SinglePartyPassesThrough) {
+  CyclicBarrier b(1);
+  EXPECT_EQ(b.arrive_and_wait(), 0);
+  EXPECT_EQ(b.generation(), 1u);
+  EXPECT_EQ(b.arrive_and_wait(), 0);
+  EXPECT_EQ(b.generation(), 2u);
+}
+
+TEST(BarrierTest, InvalidPartiesRejected) { EXPECT_THROW(CyclicBarrier{0}, ContractError); }
+
+TEST(BarrierTest, ReleasesAllParties) {
+  constexpr int kThreads = 4;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      ++before;
+      barrier.arrive_and_wait();
+      ++after;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(before.load(), kThreads);
+  EXPECT_EQ(after.load(), kThreads);
+  EXPECT_EQ(barrier.generation(), 1u);
+}
+
+TEST(BarrierTest, OnTripRunsOncePerGeneration) {
+  constexpr int kThreads = 3;
+  constexpr int kRounds = 5;
+  std::atomic<int> trips{0};
+  CyclicBarrier barrier(kThreads, [&] { ++trips; });
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) barrier.arrive_and_wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(trips.load(), kRounds);
+  EXPECT_EQ(barrier.generation(), static_cast<std::uint64_t>(kRounds));
+}
+
+TEST(BarrierTest, ReusableAcrossManyGenerations) {
+  CyclicBarrier barrier(2);
+  std::thread partner([&] {
+    for (int r = 0; r < 100; ++r) barrier.arrive_and_wait();
+  });
+  for (int r = 0; r < 100; ++r) barrier.arrive_and_wait();
+  partner.join();
+  EXPECT_EQ(barrier.generation(), 100u);
+}
+
+TEST(TaskQueueTest, FifoOrder) {
+  TaskQueue q;
+  std::vector<int> order;
+  q.push([&] { order.push_back(1); });
+  q.push([&] { order.push_back(2); });
+  q.push([&] { order.push_back(3); });
+  EXPECT_EQ(q.size(), 3u);
+  while (auto t = q.try_pop()) (*t)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TaskQueueTest, CloseDrainsThenSignals) {
+  TaskQueue q;
+  q.push([] {});
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push([] {}));  // rejected after close
+  EXPECT_TRUE(q.pop().has_value());   // pending task still drains
+  EXPECT_FALSE(q.pop().has_value());  // then empty-closed
+}
+
+TEST(TaskQueueTest, PopBlocksUntilPush) {
+  TaskQueue q;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    auto t = q.pop();
+    got = t.has_value();
+  });
+  q.push([] {});
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(TaskQueueTest, MpmcStress) {
+  TaskQueue q;
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) q.push([&] { ++executed; });
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto t = q.pop()) (*t)();
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(executed.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPoolTest, RejectsZeroThreads) {
+  EXPECT_THROW(FixedThreadPool({.n_threads = 0}), ContractError);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  FixedThreadPool pool({.n_threads = 3});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.quiesce();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, PerThreadQueuesRouteToOwner) {
+  FixedThreadPool pool({.n_threads = 4, .queue_mode = QueueMode::PerThread});
+  std::atomic<int> wrong{0};
+  CountDownLatch latch(4);
+  for (int w = 0; w < 4; ++w) {
+    pool.submit_to(w, [&, w] {
+      if (FixedThreadPool::current_worker() != w) ++wrong;
+      latch.count_down();
+    });
+  }
+  latch.await();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerOutsidePoolIsMinusOne) {
+  EXPECT_EQ(FixedThreadPool::current_worker(), -1);
+}
+
+TEST(ThreadPoolTest, RunChunkedCoversRangeExactlyOnce) {
+  FixedThreadPool pool({.n_threads = 4});
+  constexpr int kN = 1003;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run_chunked(kN, [&](int b, int e, int) {
+    for (int i = b; i < e; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ThreadPoolTest, RunChunkedPassesWorkerIds) {
+  FixedThreadPool pool({.n_threads = 3, .queue_mode = QueueMode::PerThread});
+  std::vector<int> worker_of_chunk(3, -1);
+  pool.run_chunked(3, [&](int b, int, int w) { worker_of_chunk[static_cast<std::size_t>(b)] = w; });
+  // With 3 items and 3 workers each worker gets exactly one unit chunk.
+  std::vector<int> sorted = worker_of_chunk;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, SubmitToOutOfRangeThrows) {
+  FixedThreadPool pool({.n_threads = 2});
+  EXPECT_THROW(pool.submit_to(5, [] {}), ContractError);
+  EXPECT_THROW(pool.submit_to(-1, [] {}), ContractError);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  FixedThreadPool pool({.n_threads = 2});
+  pool.submit([] {});
+  pool.shutdown();
+  pool.shutdown();
+}
+
+TEST(ThreadPoolTest, QuiesceWaitsForAllWork) {
+  FixedThreadPool pool({.n_threads = 2});
+  std::atomic<int> slow_done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++slow_done;
+    });
+  }
+  pool.quiesce();
+  EXPECT_EQ(slow_done.load(), 8);
+}
+
+TEST(ThreadPoolTest, PinnedPoolStillExecutes) {
+  // Pinning may fail on restricted hosts; work must complete regardless.
+  FixedThreadPool pool({.n_threads = 2,
+                        .queue_mode = QueueMode::Single,
+                        .pin_masks = {topo::CpuSet::of({0}), topo::CpuSet::of({0})}});
+  std::atomic<int> n{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { ++n; });
+  pool.quiesce();
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(AffinityTest, OnlinePusPositive) { EXPECT_GE(online_pus(), 1); }
+
+TEST(AffinityTest, CurrentCpuWithinRange) {
+  const int cpu = current_cpu();
+#if defined(__linux__)
+  EXPECT_GE(cpu, 0);
+#else
+  EXPECT_EQ(cpu, -1);
+#endif
+}
+
+TEST(AffinityTest, PinToCpuZero) {
+#if defined(__linux__)
+  const topo::CpuSet before = current_affinity();
+  EXPECT_TRUE(pin_current_thread_to(0));
+  EXPECT_TRUE(current_affinity().test(0));
+  EXPECT_EQ(current_affinity().count(), 1);
+  // Restore.
+  if (!before.empty()) pin_current_thread(before);
+#endif
+}
+
+TEST(AffinityTest, EmptyMaskFails) { EXPECT_FALSE(pin_current_thread(topo::CpuSet{})); }
+
+TEST(AffinityTest, NonexistentPuFails) {
+  EXPECT_FALSE(pin_current_thread(topo::CpuSet::of({200})));
+}
+
+}  // namespace
+}  // namespace mwx::parallel

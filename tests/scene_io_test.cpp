@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/args.hpp"
+#include "md/engine.hpp"
+#include "md/scene_io.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mwx::md {
+namespace {
+
+void expect_systems_equal(const MolecularSystem& a, const MolecularSystem& b) {
+  ASSERT_EQ(a.n_atoms(), b.n_atoms());
+  ASSERT_EQ(a.types().n(), b.types().n());
+  for (int t = 0; t < a.types().n(); ++t) {
+    EXPECT_EQ(a.types().at(t).name, b.types().at(t).name);
+    EXPECT_EQ(a.types().at(t).mass, b.types().at(t).mass);
+    EXPECT_EQ(a.types().at(t).lj_epsilon, b.types().at(t).lj_epsilon);
+    EXPECT_EQ(a.types().at(t).lj_sigma, b.types().at(t).lj_sigma);
+  }
+  EXPECT_EQ(a.box().lo, b.box().lo);
+  EXPECT_EQ(a.box().hi, b.box().hi);
+  for (int i = 0; i < a.n_atoms(); ++i) {
+    EXPECT_EQ(a.positions()[static_cast<std::size_t>(i)],
+              b.positions()[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(a.velocities()[static_cast<std::size_t>(i)],
+              b.velocities()[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(a.charge(i), b.charge(i));
+    EXPECT_EQ(a.type_of(i), b.type_of(i));
+    EXPECT_EQ(a.movable(i), b.movable(i));
+  }
+  ASSERT_EQ(a.radial_bonds().size(), b.radial_bonds().size());
+  ASSERT_EQ(a.angular_bonds().size(), b.angular_bonds().size());
+  ASSERT_EQ(a.torsion_bonds().size(), b.torsion_bonds().size());
+  for (std::size_t k = 0; k < a.radial_bonds().size(); ++k) {
+    EXPECT_EQ(a.radial_bonds()[k].a, b.radial_bonds()[k].a);
+    EXPECT_EQ(a.radial_bonds()[k].b, b.radial_bonds()[k].b);
+    EXPECT_EQ(a.radial_bonds()[k].k, b.radial_bonds()[k].k);
+    EXPECT_EQ(a.radial_bonds()[k].r0, b.radial_bonds()[k].r0);
+  }
+}
+
+class SceneRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SceneRoundTrip, ExactForAllBenchmarks) {
+  const auto spec = workloads::make_benchmark(GetParam(), 13);
+  std::stringstream ss;
+  save_scene(ss, spec.system);
+  const MolecularSystem loaded = load_scene(ss);
+  expect_systems_equal(spec.system, loaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SceneRoundTrip,
+                         ::testing::Values("nanocar", "salt", "Al-1000"));
+
+TEST(SceneIoTest, RoundTripPreservesDynamics) {
+  // Loading a saved scene must produce bit-identical trajectories.
+  auto spec = workloads::make_benchmark("salt", 5);
+  std::stringstream ss;
+  save_scene(ss, spec.system);
+  MolecularSystem loaded = load_scene(ss);
+
+  auto cfg = spec.engine;
+  cfg.n_threads = 1;
+  cfg.temporaries = TemporariesMode::InPlace;
+  Engine a(std::move(spec.system), cfg);
+  Engine b(std::move(loaded), cfg);
+  a.run_inline(10);
+  b.run_inline(10);
+  EXPECT_EQ(a.total_energy(), b.total_energy());
+  for (int i = 0; i < a.system().n_atoms(); ++i) {
+    EXPECT_EQ(a.system().positions()[static_cast<std::size_t>(i)],
+              b.system().positions()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SceneIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# a scene\nmws 1\n\nbox 0 0 0 10 10 10\ntype Ar 39.95 0.0001 3.4\n"
+     << "# the atom:\natom 0 5 5 5 0 0 0 0 1\n";
+  const MolecularSystem sys = load_scene(ss);
+  EXPECT_EQ(sys.n_atoms(), 1);
+  EXPECT_EQ(sys.types().at(0).name, "Ar");
+}
+
+TEST(SceneIoTest, MalformedInputsRejectedWithLineNumbers) {
+  auto expect_fail = [](const std::string& text, const std::string& needle) {
+    std::stringstream ss(text);
+    try {
+      load_scene(ss);
+      FAIL() << "expected failure for: " << text;
+    } catch (const ContractError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_fail("box 0 0 0 10 10 10\n", "missing 'mws 1' header");
+  expect_fail("mws 2\n", "unsupported scene version");
+  expect_fail("mws 1\nfrobnicate 3\n", "unknown record");
+  expect_fail("mws 1\nbox 0 0 0\n", "malformed box");
+  expect_fail("mws 1\natom 0 1 1 1 0 0 0 0 1\n", "atom before box");
+  expect_fail("mws 1\nbox 0 0 0 10 10 10\natom 0 1 1 1 0 0 0 0 1\n", "atom before any type");
+  expect_fail("mws 1\nbox 0 0 0 10 10 10\ntype A 1 0 1\natom 7 1 1 1 0 0 0 0 1\n",
+              "unknown atom type");
+  expect_fail("mws 1\nbox 0 0 0 5 5 5\ntype A 1 0 1\n", "no atoms");
+}
+
+TEST(SceneIoTest, FileRoundTrip) {
+  const auto spec = workloads::make_benchmark("nanocar", 3);
+  const std::string path = "/tmp/mwx_scene_test.mws";
+  save_scene_file(path, spec.system);
+  const MolecularSystem loaded = load_scene_file(path);
+  expect_systems_equal(spec.system, loaded);
+  EXPECT_THROW(load_scene_file("/nonexistent/nope.mws"), ContractError);
+}
+
+}  // namespace
+}  // namespace mwx::md
+
+namespace mwx {
+namespace {
+
+TEST(ArgsTest, ParsesAllForms) {
+  // Note: a bare --flag greedily consumes a following non-flag token as its
+  // value, so positionals must not directly follow boolean flags.
+  const char* argv[] = {"prog",        "--steps=50", "positional", "--threads",
+                        "4",           "--ratio=0.5", "--flag"};
+  Args args(7, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("steps", 0), 50);
+  EXPECT_EQ(args.get_int("threads", 0), 4);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.5);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 9), 9);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(ArgsTest, BadNumbersThrow) {
+  const char* argv[] = {"prog", "--steps=abc"};
+  Args args(2, const_cast<char**>(argv));
+  EXPECT_THROW(args.get_int("steps", 0), ContractError);
+  EXPECT_THROW(args.get_double("steps", 0), ContractError);
+}
+
+}  // namespace
+}  // namespace mwx

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "perf/event_log.hpp"
+#include "perf/timeline.hpp"
+
+namespace mwx::perf {
+namespace {
+
+// Two threads, two phases: thread 0 runs A [0,1) then B [1,2);
+// thread 1 runs A [0,0.5) then idles then B [1.5,2).
+EventLog make_log() {
+  EventLog log(2);
+  log.record(0, 1, 0.0, 1.0);
+  log.record(0, 2, 1.0, 2.0);
+  log.record(1, 1, 0.0, 0.5);
+  log.record(1, 2, 1.5, 2.0);
+  return log;
+}
+
+TEST(TimelineTest, TagsAtInstant) {
+  const EventLog log = make_log();
+  const auto at_quarter = TimelineView::tags_at(log, 0.25);
+  EXPECT_EQ(at_quarter, (std::vector<int>{1, 1}));
+  const auto at_three_quarters = TimelineView::tags_at(log, 0.75);
+  EXPECT_EQ(at_three_quarters, (std::vector<int>{1, -1}));  // thread 1 idle
+  const auto at_end = TimelineView::tags_at(log, 1.75);
+  EXPECT_EQ(at_end, (std::vector<int>{2, 2}));
+}
+
+TEST(TimelineTest, RenderShowsDominantTagPerBucket) {
+  const EventLog log = make_log();
+  const TimelineView view({{1, 'A'}, {2, 'B'}});
+  const std::string s = view.render(log, 0.0, 2.0, 4);
+  // Thread 0: A A B B; thread 1: A . . B.
+  EXPECT_NE(s.find("|AABB|"), std::string::npos);
+  EXPECT_NE(s.find("|A..B|"), std::string::npos);
+}
+
+TEST(TimelineTest, UnknownTagRendersQuestionMark) {
+  EventLog log(1);
+  log.record(0, 99, 0.0, 1.0);
+  const TimelineView view({{1, 'A'}});
+  EXPECT_NE(view.render(log, 0.0, 1.0, 2).find("??"), std::string::npos);
+}
+
+TEST(TimelineTest, SampledViewHoldsState) {
+  // Thread busy only [0, 0.1) but sampled at t=0 with period 1.0: the whole
+  // first period displays busy — the Section IV-B display artifact.
+  EventLog log(1);
+  log.record(0, 1, 0.0, 0.1);
+  const TimelineView view({{1, 'A'}});
+  const std::string s = view.render_sampled(log, 0.0, 1.0, 10, 1.0);
+  EXPECT_NE(s.find("|AAAAAAAAAA|"), std::string::npos);
+  // The exact view shows mostly idle.
+  const std::string exact = view.render(log, 0.0, 1.0, 10);
+  EXPECT_NE(exact.find("A........."), std::string::npos);
+}
+
+TEST(TimelineTest, DisagreementShrinksWithPeriod) {
+  // Alternating short tasks: coarse sampling disagrees a lot, fine little.
+  EventLog log(1);
+  for (int k = 0; k < 100; ++k) {
+    log.record(0, 1 + (k % 2), k * 0.01, k * 0.01 + 0.006);
+  }
+  const TimelineView view({{1, 'A'}, {2, 'B'}});
+  // Buckets aligned with the 10 ms task cadence so partial-cell rendering
+  // does not dominate the comparison.
+  const double coarse = view.sampled_disagreement(log, 0.0, 1.0, 100, 0.25);
+  const double fine = view.sampled_disagreement(log, 0.0, 1.0, 100, 0.001);
+  EXPECT_GT(coarse, 0.3);
+  EXPECT_LT(fine, 0.1);
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(TimelineTest, ValidatesWindow) {
+  const EventLog log = make_log();
+  const TimelineView view({});
+  EXPECT_THROW(view.render(log, 1.0, 1.0, 10), ContractError);
+  EXPECT_THROW(view.render(log, 0.0, 1.0, 0), ContractError);
+  EXPECT_THROW(view.render_sampled(log, 0.0, 1.0, 10, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace mwx::perf

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "topo/cpuset.hpp"
+#include "topo/machine_spec.hpp"
+#include "topo/topology.hpp"
+
+namespace mwx::topo {
+namespace {
+
+TEST(CpuSetTest, EmptyByDefault) {
+  CpuSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.first(), -1);
+}
+
+TEST(CpuSetTest, SetTestClear) {
+  CpuSet s;
+  s.set(3);
+  s.set(64);  // crosses the word boundary
+  EXPECT_TRUE(s.test(3));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_FALSE(s.test(4));
+  EXPECT_EQ(s.count(), 2);
+  s.clear(3);
+  EXPECT_FALSE(s.test(3));
+  EXPECT_EQ(s.count(), 1);
+}
+
+TEST(CpuSetTest, OutOfRangeThrows) {
+  CpuSet s;
+  EXPECT_THROW(s.set(-1), ContractError);
+  EXPECT_THROW(s.set(CpuSet::kMaxPus), ContractError);
+  EXPECT_FALSE(s.test(-1));
+  EXPECT_FALSE(s.test(CpuSet::kMaxPus + 5));
+}
+
+TEST(CpuSetTest, FactoryHelpers) {
+  EXPECT_EQ(CpuSet::all(8).count(), 8);
+  EXPECT_EQ(CpuSet::of({1, 5, 9}).count(), 3);
+  const CpuSet r = CpuSet::range(4, 8);
+  EXPECT_EQ(r.count(), 4);
+  EXPECT_TRUE(r.test(4));
+  EXPECT_TRUE(r.test(7));
+  EXPECT_FALSE(r.test(8));
+}
+
+TEST(CpuSetTest, FirstAndNextIterate) {
+  const CpuSet s = CpuSet::of({2, 70, 130});
+  EXPECT_EQ(s.first(), 2);
+  EXPECT_EQ(s.next(2), 70);
+  EXPECT_EQ(s.next(70), 130);
+  EXPECT_EQ(s.next(130), -1);
+}
+
+TEST(CpuSetTest, SetOperations) {
+  const CpuSet a = CpuSet::of({1, 2, 3});
+  const CpuSet b = CpuSet::of({2, 3, 4});
+  EXPECT_EQ((a & b).count(), 2);
+  EXPECT_EQ((a | b).count(), 4);
+  EXPECT_TRUE(a == CpuSet::of({3, 2, 1}));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CpuSetTest, ToStringRanges) {
+  EXPECT_EQ(CpuSet::of({0, 1, 2, 3}).to_string(), "0-3");
+  EXPECT_EQ(CpuSet::of({0, 2, 3, 8}).to_string(), "0,2-3,8");
+  EXPECT_EQ(CpuSet().to_string(), "(empty)");
+}
+
+// --- Table II presets --------------------------------------------------------
+
+TEST(MachineSpecTest, CoreI7MatchesTable2) {
+  const MachineSpec m = core_i7_920();
+  EXPECT_EQ(m.packages, 1);
+  EXPECT_EQ(m.cores_per_package, 4);
+  EXPECT_EQ(m.n_cores(), 4);
+  EXPECT_EQ(m.n_pus(), 8);  // HyperThreading
+  ASSERT_NE(m.find_level(1), nullptr);
+  EXPECT_EQ(m.find_level(1)->size_bytes, 32 * 1024);
+  EXPECT_EQ(m.find_level(2)->size_bytes, 256 * 1024);
+  EXPECT_EQ(m.find_level(3)->size_bytes, 8 * 1024 * 1024);
+  // One L3 shared by all 4 cores (8 PUs).
+  EXPECT_EQ(m.find_level(3)->pus_per_instance, 8);
+  EXPECT_EQ(m.memory.total_bytes, 6ll * 1024 * 1024 * 1024);
+}
+
+TEST(MachineSpecTest, XeonE5450MatchesTable2) {
+  const MachineSpec m = xeon_e5450_2s();
+  EXPECT_EQ(m.packages, 2);
+  EXPECT_EQ(m.n_cores(), 8);
+  EXPECT_EQ(m.n_pus(), 8);  // no SMT
+  // 6 MB LLC per core pair -> 4 instances machine-wide.
+  EXPECT_EQ(m.find_level(3)->size_bytes, 6 * 1024 * 1024);
+  EXPECT_EQ(m.find_level(3)->pus_per_instance, 2);
+  EXPECT_EQ(m.memory.total_bytes, 16ll * 1024 * 1024 * 1024);
+}
+
+TEST(MachineSpecTest, XeonX7560MatchesTable2) {
+  const MachineSpec m = xeon_x7560_4s();
+  EXPECT_EQ(m.packages, 4);
+  EXPECT_EQ(m.cores_per_package, 8);
+  EXPECT_EQ(m.n_cores(), 32);
+  EXPECT_EQ(m.n_pus(), 64);
+  EXPECT_EQ(m.find_level(3)->size_bytes, 24 * 1024 * 1024);
+  EXPECT_EQ(m.find_level(3)->pus_per_instance, 16);  // 8 cores x 2 SMT
+  EXPECT_EQ(m.memory.total_bytes, 192ll * 1024 * 1024 * 1024);
+}
+
+TEST(MachineSpecTest, PuMapping) {
+  const MachineSpec m = xeon_x7560_4s();
+  EXPECT_EQ(m.pu_to_core(0), 0);
+  EXPECT_EQ(m.pu_to_core(1), 0);  // SMT sibling
+  EXPECT_EQ(m.pu_to_core(2), 1);
+  EXPECT_EQ(m.pu_to_package(0), 0);
+  EXPECT_EQ(m.pu_to_package(16), 1);
+  EXPECT_EQ(m.core_to_package(7), 0);
+  EXPECT_EQ(m.core_to_package(8), 1);
+}
+
+TEST(MachineSpecTest, CacheInstanceIndexing) {
+  const MachineSpec m = core_i7_920();
+  // L1 per core (2 PUs): PUs 0,1 -> instance 0; PUs 2,3 -> instance 1.
+  EXPECT_EQ(m.cache_instance(1, 0), 0);
+  EXPECT_EQ(m.cache_instance(1, 1), 0);
+  EXPECT_EQ(m.cache_instance(1, 2), 1);
+  // L3 shared by all -> instance 0 for everyone.
+  EXPECT_EQ(m.cache_instance(3, 7), 0);
+  // Missing level.
+  EXPECT_EQ(m.cache_instance(4, 0), -1);
+}
+
+TEST(MachineSpecTest, Table2HasThreeMachines) {
+  const auto machines = table2_machines();
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_EQ(machines[0].processor, "Intel Core i7 920");
+  EXPECT_EQ(machines[1].processor, "Intel Xeon E5450");
+  EXPECT_EQ(machines[2].processor, "Intel Xeon X7560");
+}
+
+// --- Topology tree -----------------------------------------------------------
+
+TEST(TopologyTest, TreeShapeForI7) {
+  const Topology topo(core_i7_920());
+  const Node& root = topo.root();
+  EXPECT_EQ(root.type, NodeType::Machine);
+  ASSERT_EQ(root.children.size(), 1u);  // one package
+  const Node& pkg = *root.children[0];
+  EXPECT_EQ(pkg.type, NodeType::Package);
+  // Package children: one L3 cache node + 4 cores.
+  int cores = 0, caches = 0;
+  for (const auto& c : pkg.children) {
+    if (c->type == NodeType::Core) ++cores;
+    if (c->type == NodeType::Cache) ++caches;
+  }
+  EXPECT_EQ(cores, 4);
+  EXPECT_EQ(caches, 1);
+}
+
+TEST(TopologyTest, SmtSiblings) {
+  const Topology topo(core_i7_920());
+  EXPECT_EQ(topo.smt_siblings(0), CpuSet::of({0, 1}));
+  EXPECT_EQ(topo.smt_siblings(5), CpuSet::of({4, 5}));
+}
+
+TEST(TopologyTest, PusSharingCache) {
+  const Topology e5450(xeon_e5450_2s());
+  // Core pairs share the LLC.
+  EXPECT_EQ(e5450.pus_sharing_cache(3, 0), CpuSet::of({0, 1}));
+  EXPECT_EQ(e5450.pus_sharing_cache(3, 5), CpuSet::of({4, 5}));
+  // L1 is private.
+  EXPECT_EQ(e5450.pus_sharing_cache(1, 3), CpuSet::of({3}));
+}
+
+TEST(TopologyTest, OnePuPerCoreAvoidsSmtSiblings) {
+  const Topology topo(xeon_x7560_4s());
+  const auto pus = topo.one_pu_per_core();
+  ASSERT_EQ(pus.size(), 32u);
+  for (std::size_t i = 0; i < pus.size(); ++i) {
+    EXPECT_EQ(pus[i] % 2, 0) << "must pick the primary SMT thread";
+  }
+}
+
+TEST(TopologyTest, PusOfPackage) {
+  const Topology topo(xeon_e5450_2s());
+  const auto p1 = topo.pus_of_package(1);
+  ASSERT_EQ(p1.size(), 4u);
+  EXPECT_EQ(p1.front(), 4);
+  EXPECT_EQ(p1.back(), 7);
+  EXPECT_THROW(topo.pus_of_package(2), ContractError);
+}
+
+TEST(TopologyTest, DistanceClasses) {
+  const Topology topo(xeon_x7560_4s());
+  EXPECT_EQ(topo.distance_class(0, 0), 0);   // same PU
+  EXPECT_EQ(topo.distance_class(0, 1), 1);   // SMT siblings
+  EXPECT_EQ(topo.distance_class(0, 2), 2);   // same LLC
+  EXPECT_EQ(topo.distance_class(0, 16), 4);  // cross package
+}
+
+TEST(TopologyTest, DistanceClassSamePackageNoSharedLlc) {
+  // On E5450 the LLC covers a core pair; cores 0 and 3 share a package only.
+  const Topology topo(xeon_e5450_2s());
+  EXPECT_EQ(topo.distance_class(0, 1), 2);  // same LLC pair
+  EXPECT_EQ(topo.distance_class(0, 3), 3);  // same package, different LLC
+  EXPECT_EQ(topo.distance_class(0, 4), 4);  // other package
+}
+
+TEST(TopologyTest, RenderMentionsResources) {
+  const Topology topo(core_i7_920());
+  const std::string s = topo.render();
+  EXPECT_NE(s.find("Machine"), std::string::npos);
+  EXPECT_NE(s.find("Package"), std::string::npos);
+  EXPECT_NE(s.find("Core"), std::string::npos);
+  EXPECT_NE(s.find("PU"), std::string::npos);
+  EXPECT_NE(s.find("L3"), std::string::npos);
+}
+
+TEST(TopologyTest, InvalidSpecRejected) {
+  MachineSpec bad = core_i7_920();
+  bad.packages = 0;
+  EXPECT_THROW(Topology{bad}, ContractError);
+}
+
+TEST(TopologyTest, DiscoverHostIsSane) {
+  const MachineSpec host = discover_host();
+  EXPECT_GE(host.n_pus(), 1);
+  EXPECT_FALSE(host.caches.empty());
+  // The tree must build without throwing.
+  const Topology topo(host);
+  EXPECT_GE(topo.n_pus(), 1);
+}
+
+}  // namespace
+}  // namespace mwx::topo

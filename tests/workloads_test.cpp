@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "md/engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mwx::workloads {
+namespace {
+
+TEST(Table1Test, NanocarCharacteristics) {
+  const BenchmarkSpec spec = make_nanocar();
+  const TableRow row = table1_row(spec);
+  EXPECT_EQ(row.n_atoms, 989);
+  EXPECT_EQ(row.n_charged, 0);
+  EXPECT_EQ(row.n_bonds, 2277);
+  EXPECT_EQ(row.dominant, "Bonds");
+  // Roughly half the atoms form the immovable platform.
+  EXPECT_EQ(spec.system.n_atoms() - spec.system.n_movable(), 495);
+}
+
+TEST(Table1Test, SaltCharacteristics) {
+  const BenchmarkSpec spec = make_salt();
+  const TableRow row = table1_row(spec);
+  EXPECT_EQ(row.n_atoms, 800);
+  EXPECT_EQ(row.n_charged, 800);
+  EXPECT_EQ(row.n_bonds, 0);
+  EXPECT_EQ(row.dominant, "Ionic");
+  // Net neutral: 400 each.
+  double net = 0.0;
+  int positive = 0;
+  for (int i = 0; i < spec.system.n_atoms(); ++i) {
+    net += spec.system.charge(i);
+    if (spec.system.charge(i) > 0) ++positive;
+  }
+  EXPECT_DOUBLE_EQ(net, 0.0);
+  EXPECT_EQ(positive, 400);
+}
+
+TEST(Table1Test, Al1000Characteristics) {
+  const BenchmarkSpec spec = make_al1000();
+  const TableRow row = table1_row(spec);
+  EXPECT_EQ(row.n_atoms, 1000);
+  EXPECT_EQ(row.n_charged, 0);
+  EXPECT_EQ(row.n_bonds, 0);
+  EXPECT_EQ(row.dominant, "Lennard-Jones");
+}
+
+TEST(Table1Test, Al1000HasOneFastProjectile) {
+  const BenchmarkSpec spec = make_al1000();
+  int fast = 0;
+  for (int i = 0; i < spec.system.n_atoms(); ++i) {
+    if (spec.system.velocities()[static_cast<std::size_t>(i)].norm() > 0.05) ++fast;
+  }
+  EXPECT_EQ(fast, 1);
+}
+
+TEST(Table1Test, RegistryRoundTrip) {
+  for (const auto& name : benchmark_names()) {
+    const BenchmarkSpec spec = make_benchmark(name);
+    EXPECT_EQ(spec.name, name);
+  }
+  EXPECT_THROW(make_benchmark("nope"), ContractError);
+}
+
+TEST(Table1Test, SeedsChangeCreationOrderNotComposition) {
+  const BenchmarkSpec a = make_salt(1);
+  const BenchmarkSpec b = make_salt(2);
+  EXPECT_EQ(a.system.n_atoms(), b.system.n_atoms());
+  // Same multiset of positions, different order for at least one index.
+  bool any_different = false;
+  for (int i = 0; i < a.system.n_atoms(); ++i) {
+    if (!(a.system.positions()[static_cast<std::size_t>(i)] ==
+          b.system.positions()[static_cast<std::size_t>(i)])) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+class BenchmarkStability : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkStability, ShortRunStaysFinite) {
+  BenchmarkSpec spec = make_benchmark(GetParam());
+  auto cfg = spec.engine;
+  cfg.n_threads = 1;
+  cfg.temporaries = md::TemporariesMode::InPlace;
+  md::Engine eng(std::move(spec.system), cfg);
+  eng.run_inline(50);
+  EXPECT_TRUE(std::isfinite(eng.total_energy()));
+  for (const Vec3& v : eng.system().velocities()) {
+    EXPECT_TRUE(std::isfinite(v.x));
+    EXPECT_LT(v.norm(), 10.0) << "no atom should reach absurd speed";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkStability,
+                         ::testing::Values("nanocar", "salt", "Al-1000"));
+
+TEST(GeneratorsTest, LjGasRespectsCountAndBox) {
+  const auto sys = make_lj_gas(100, 0.012, 150.0, 4);
+  EXPECT_EQ(sys.n_atoms(), 100);
+  const double volume = sys.box().extent().x * sys.box().extent().y * sys.box().extent().z;
+  EXPECT_NEAR(100.0 / volume, 0.012, 0.012 * 0.2);
+}
+
+TEST(GeneratorsTest, ChainHasAllBondOrders) {
+  const auto sys = make_chain(10, 1);
+  EXPECT_EQ(sys.radial_bonds().size(), 9u);
+  EXPECT_EQ(sys.angular_bonds().size(), 8u);
+  EXPECT_EQ(sys.torsion_bonds().size(), 7u);
+}
+
+TEST(GeneratorsTest, IonicIsNeutralAndEven) {
+  const auto sys = make_ionic(64, 3);
+  EXPECT_EQ(sys.n_atoms(), 64);
+  double net = 0.0;
+  for (int i = 0; i < 64; ++i) net += sys.charge(i);
+  EXPECT_DOUBLE_EQ(net, 0.0);
+  EXPECT_THROW(make_ionic(7, 1), ContractError);
+}
+
+TEST(GeneratorsTest, SaltTemperatureNearTarget) {
+  const BenchmarkSpec spec = make_salt();
+  const double t = units::kinetic_to_kelvin(spec.system.kinetic_energy(),
+                                            spec.system.n_atoms());
+  EXPECT_NEAR(t, 300.0, 40.0);
+}
+
+}  // namespace
+}  // namespace mwx::workloads
