@@ -1,10 +1,14 @@
 // Shared plumbing for the reproduction benches: runs a Table I benchmark on
-// a simulated machine configuration and reports timing/counter summaries.
+// a simulated machine configuration and reports timing/counter summaries,
+// plus a machine-readable JSON emitter for CI/plot consumption.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "md/engine.hpp"
@@ -13,6 +17,65 @@
 #include "workloads/workloads.hpp"
 
 namespace mwx::bench {
+
+// Collects named metric groups and writes them as BENCH_<name>.json in the
+// working directory — so runs can be diffed or plotted without scraping the
+// human-readable tables.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& group, const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    group_of(group).emplace_back(key, os.str());
+  }
+
+  void note(const std::string& group, const std::string& key, const std::string& text) {
+    group_of(group).emplace_back(key, "\"" + escaped(text) + "\"");
+  }
+
+  // Writes BENCH_<name>.json; returns the path written.
+  std::string write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << escaped(name_) << "\"";
+    for (const auto& [group, entries] : groups_) {
+      out << ",\n  \"" << escaped(group) << "\": {";
+      bool first = true;
+      for (const auto& [key, rendered] : entries) {
+        out << (first ? "\n" : ",\n") << "    \"" << escaped(key) << "\": " << rendered;
+        first = false;
+      }
+      out << "\n  }";
+    }
+    out << "\n}\n";
+    return path;
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  Entries& group_of(const std::string& group) {
+    for (auto& [g, entries] : groups_) {
+      if (g == group) return entries;
+    }
+    groups_.emplace_back(group, Entries{});
+    return groups_.back().second;
+  }
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, Entries>> groups_;
+};
 
 struct RunOptions {
   int n_threads = 1;

@@ -10,13 +10,14 @@ namespace mwx::md {
 Engine::Engine(MolecularSystem sys, EngineConfig config)
     : sys_(std::move(sys)),
       config_(config),
+      n_slots_(compute_slots(config)),
       heap_(config.heap, std::max(1, sys_.n_atoms())),
       grid_(sys_.box().lo, sys_.box().hi, config.cutoff + config.skin),
       nlist_(std::max(1, sys_.n_atoms()), config.cutoff, config.skin,
              config.neighbor_capacity),
       lj_(sys_, config.cutoff),
-      buffers_(config.n_threads, std::max(1, sys_.n_atoms())),
-      tracker_(config.n_threads) {
+      buffers_(n_slots_, std::max(1, sys_.n_atoms())),
+      tracker_(n_slots_) {
   require(config_.n_threads > 0, "engine needs at least one worker");
   require(config_.chunks_per_thread > 0, "chunks_per_thread must be positive");
   require(sys_.n_atoms() > 0, "system has no atoms");
@@ -38,10 +39,19 @@ Engine::Engine(MolecularSystem sys, EngineConfig config)
   tracker_.on_alloc(nbr_type, 0);
   const int priv_type = tracker_.register_type(
       "privatized force arrays",
-      static_cast<std::size_t>(config_.n_threads) *
+      static_cast<std::size_t>(n_slots_) *
           static_cast<std::size_t>(sys_.n_atoms()) * 24,
       /*transient_type=*/false);
   tracker_.on_alloc(priv_type, 0);
+}
+
+int Engine::compute_slots(const EngineConfig& config) {
+  // Static assignment keeps the paper's exact one-buffer-per-thread design.
+  // The dynamic disciplines give every chunk its own accumulation slot so
+  // chunks move between workers independently; the heap model reserves 64
+  // private force regions, which caps the count.
+  if (config.assignment == sim::Assignment::Static) return config.n_threads;
+  return std::min(64, config.n_threads * config.chunks_per_thread);
 }
 
 void Engine::chunk_range(int n, int n_chunks, std::vector<std::pair<int, int>>& out) {
@@ -60,7 +70,7 @@ std::vector<Engine::TaskDesc> Engine::atom_phase_tasks(Kind kind) const {
   chunk_range(sys_.n_atoms(), config_.n_threads * config_.chunks_per_thread, ranges);
   tasks.reserve(ranges.size());
   int idx = 0;
-  for (auto [b, e] : ranges) tasks.push_back({kind, b, e, idx++ % config_.n_threads});
+  for (auto [b, e] : ranges) tasks.push_back({kind, b, e, idx++ % n_slots_});
   return tasks;
 }
 
@@ -74,35 +84,54 @@ std::vector<Engine::TaskDesc> Engine::forces_phase_tasks() const {
   const int n_chunks = config_.n_threads * config_.chunks_per_thread;
 
   // LJ and Coulomb domains have index-correlated (triangular) per-item cost
-  // because the lower-indexed atom of a pair does the work; a cyclic
-  // decomposition gives each chunk the same expected load.
+  // because the lower-indexed atom of a pair does the work.  Under the
+  // static disciplines a cyclic decomposition gives each chunk the same
+  // expected load.  Under work stealing the scheduler rebalances the
+  // triangle dynamically, so we use contiguous chunks instead: their scatter
+  // footprint is block-local, which is what makes the sparse reduction skip
+  // most (slot, block) pairs.
+  const bool contiguous_pairs = config_.assignment == sim::Assignment::WorkStealing;
   if (sys_.n_atoms() > 0) {
-    const int k = std::min(n_chunks, sys_.n_atoms());
-    for (int c = 0; c < k; ++c) {
-      tasks.push_back({Kind::FusedLj, c, sys_.n_atoms(), c % config_.n_threads, k});
+    if (contiguous_pairs) {
+      chunk_range(sys_.n_atoms(), n_chunks, ranges);
+      int c = 0;
+      for (auto [b, e] : ranges)
+        tasks.push_back({Kind::FusedLj, b, e, c++ % n_slots_, 1});
+    } else {
+      const int k = std::min(n_chunks, sys_.n_atoms());
+      for (int c = 0; c < k; ++c) {
+        tasks.push_back({Kind::FusedLj, c, sys_.n_atoms(), c % n_slots_, k});
+      }
     }
   }
   if (sys_.n_charged() > 0) {
-    const int k = std::min(n_chunks, sys_.n_charged());
-    for (int c = 0; c < k; ++c) {
-      tasks.push_back({Kind::Coulomb, c, sys_.n_charged(), c % config_.n_threads, k});
+    if (contiguous_pairs) {
+      chunk_range(sys_.n_charged(), n_chunks, ranges);
+      int c = 0;
+      for (auto [b, e] : ranges)
+        tasks.push_back({Kind::Coulomb, b, e, c++ % n_slots_, 1});
+    } else {
+      const int k = std::min(n_chunks, sys_.n_charged());
+      for (int c = 0; c < k; ++c) {
+        tasks.push_back({Kind::Coulomb, c, sys_.n_charged(), c % n_slots_, k});
+      }
     }
   }
 
   chunk_range(static_cast<int>(sys_.radial_bonds().size()), n_chunks, ranges);
   int idx = 0;
   for (auto [b, e] : ranges)
-    tasks.push_back({Kind::RadialBonds, b, e, idx++ % config_.n_threads});
+    tasks.push_back({Kind::RadialBonds, b, e, idx++ % n_slots_});
 
   chunk_range(static_cast<int>(sys_.angular_bonds().size()), n_chunks, ranges);
   idx = 0;
   for (auto [b, e] : ranges)
-    tasks.push_back({Kind::AngularBonds, b, e, idx++ % config_.n_threads});
+    tasks.push_back({Kind::AngularBonds, b, e, idx++ % n_slots_});
 
   chunk_range(static_cast<int>(sys_.torsion_bonds().size()), n_chunks, ranges);
   idx = 0;
   for (auto [b, e] : ranges)
-    tasks.push_back({Kind::TorsionBonds, b, e, idx++ % config_.n_threads});
+    tasks.push_back({Kind::TorsionBonds, b, e, idx++ % n_slots_});
   return tasks;
 }
 
@@ -134,7 +163,8 @@ void Engine::run_task(const TaskDesc& t, int buffer, Mem& mem) {
       torsion_bond_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, mem);
       break;
     case Kind::Reduce:
-      reduce_chunk(sys_, config_.costs, buffers_, t.begin, t.end, mem);
+      reduce_chunk(sys_, config_.costs, buffers_, t.begin, t.end, mem,
+                   config_.sparse_reduction);
       break;
     case Kind::Corrector:
       corrector_chunk(sys_, config_.dt_fs, config_.costs, buffers_, buffer, t.begin, t.end,
@@ -171,28 +201,49 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
     return;
   }
 
-  // Native threaded backend.
-  parallel::CountDownLatch latch(static_cast<int>(tasks.size()));
+  // Native threaded backend.  Tasks sharing an accumulation slot form a
+  // chain that executes serially in submission order; only that slot's
+  // privatized buffers are written.  Whichever worker runs the chain — and
+  // under WorkStealing that changes run to run — each buffer sees the same
+  // floating-point addition order, so every queue discipline reproduces the
+  // inline result bit for bit.
+  std::vector<std::vector<TaskDesc>> chains(static_cast<std::size_t>(n_slots_));
   for (const TaskDesc& t : tasks) {
-    auto body = [this, &latch, t, tag] {
+    chains[static_cast<std::size_t>(t.owner)].push_back(t);
+  }
+  int n_chains = 0;
+  for (const auto& chain : chains) n_chains += chain.empty() ? 0 : 1;
+  parallel::CountDownLatch latch(n_chains);
+  // Single mode has one queue, so a placement hint is meaningless; under
+  // SharedQueue assignment the engine models exactly that executor.  All
+  // other combinations seed chain i at worker i % N — PerThread runs it
+  // there (the static split), WorkStealing treats it as a preference that
+  // idle peers may override.
+  const bool place = pool->config().queue_mode != parallel::QueueMode::Single &&
+                     config_.assignment != sim::Assignment::SharedQueue;
+  for (int slot = 0; slot < n_slots_; ++slot) {
+    const auto& chain = chains[static_cast<std::size_t>(slot)];
+    if (chain.empty()) continue;
+    auto body = [this, &latch, chain, slot, tag] {
       const int worker = std::max(0, parallel::FixedThreadPool::current_worker());
-      const double t0 = native_clock_.elapsed_seconds();
       NullMem mem;
-      run_task(t, worker, mem);
-      const double t1 = native_clock_.elapsed_seconds();
-      if (native_log_ != nullptr) {
-        native_log_->record(worker, tag, t0, t1, parallel::current_cpu());
-      }
-      if (native_monitor_ != nullptr) {
-        for (int m = 0; m < std::max(1, config_.monitor_updates_per_task); ++m) {
-          native_monitor_->add("phase." + std::to_string(tag), t1 - t0);
+      for (const TaskDesc& t : chain) {
+        const double t0 = native_clock_.elapsed_seconds();
+        run_task(t, slot, mem);
+        const double t1 = native_clock_.elapsed_seconds();
+        if (native_log_ != nullptr) {
+          native_log_->record(worker, tag, t0, t1, parallel::current_cpu());
+        }
+        if (native_monitor_ != nullptr) {
+          for (int m = 0; m < std::max(1, config_.monitor_updates_per_task); ++m) {
+            native_monitor_->add("phase." + std::to_string(tag), t1 - t0);
+          }
         }
       }
       latch.count_down();
     };
-    if (config_.assignment == sim::Assignment::Static &&
-        pool->config().queue_mode == parallel::QueueMode::PerThread) {
-      pool->submit_to(t.owner, std::move(body));
+    if (place) {
+      pool->submit_to(slot % config_.n_threads, std::move(body));
     } else {
       pool->submit(std::move(body));
     }
@@ -235,8 +286,11 @@ void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
   exec_phase(pool, machine, kPhaseForces, forces_phase_tasks());
   if (rebuild_now_) nlist_.end_rebuild();
 
-  // Phase 5: reduction of privatized force arrays.
+  // Phase 5: reduction of privatized force arrays.  The sweep zeroes every
+  // touched entry, so dropping the touch marks afterwards keeps marks and
+  // data consistent for the next step's force phase.
   exec_phase(pool, machine, kPhaseReduce, atom_phase_tasks(Kind::Reduce));
+  buffers_.clear_touched();
   last_pe_ = buffers_.drain_pe();
 
   // Phase 6: corrector.
@@ -279,6 +333,7 @@ void Engine::compute_forces_only() {
   for (const TaskDesc& t : forces_phase_tasks()) run_task(t, t.owner, mem);
   nlist_.end_rebuild();
   for (const TaskDesc& t : atom_phase_tasks(Kind::Reduce)) run_task(t, t.owner, mem);
+  buffers_.clear_touched();
   last_pe_ = buffers_.drain_pe();
 }
 

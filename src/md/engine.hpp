@@ -70,6 +70,12 @@ struct EngineConfig {
   // request that atom objects be re-laid in cell-traversal order.  Whether
   // anything actually moves depends on heap.layout.
   bool reorder_on_rebuild = false;
+
+  // Phase 5 sweeps only the (slot, block) pairs the force kernels actually
+  // scattered into instead of the full O(n_atoms x n_slots) matrix.
+  // Bit-identical to the dense sweep (untouched entries are exactly +0.0);
+  // off switch exists for the bench/sparse_reduce.cpp comparison.
+  bool sparse_reduction = true;
 };
 
 // Phase identifiers used as event-log tags.
@@ -106,6 +112,14 @@ class Engine {
   [[nodiscard]] double kinetic_energy() const { return last_ke_; }
   [[nodiscard]] double total_energy() const { return last_pe_ + last_ke_; }
   [[nodiscard]] long long steps_done() const { return steps_done_; }
+  // Accumulation slots (task chains): n_threads under Static assignment,
+  // n_threads * chunks_per_thread (capped at the heap model's 64 private
+  // force regions) under the dynamic disciplines.  Each slot owns a
+  // privatized force buffer, and the tasks that share a slot execute as one
+  // serial chain — which is what keeps every backend/queue-mode combination
+  // bit-identical: per-buffer floating-point accumulation order never
+  // depends on which worker ran the chain.
+  [[nodiscard]] int n_slots() const { return n_slots_; }
   [[nodiscard]] long long rebuild_count() const { return nlist_.rebuild_count(); }
   [[nodiscard]] const NeighborList& neighbor_list() const { return nlist_; }
   [[nodiscard]] HeapModel& heap() { return heap_; }
@@ -123,6 +137,8 @@ class Engine {
     Kind kind;
     int begin;
     int end;
+    // Accumulation slot: which privatized buffer this task writes, and which
+    // serial chain it belongs to in the native backend.
     int owner;
     // Iteration stride.  Uniform-cost domains use contiguous chunks
     // (stride 1); the triangular LJ/Coulomb domains use a cyclic (strided)
@@ -134,6 +150,7 @@ class Engine {
   [[nodiscard]] std::vector<TaskDesc> atom_phase_tasks(Kind kind) const;
   [[nodiscard]] std::vector<TaskDesc> forces_phase_tasks() const;
   static void chunk_range(int n, int n_chunks, std::vector<std::pair<int, int>>& out);
+  [[nodiscard]] static int compute_slots(const EngineConfig& config);
 
   template <typename Mem>
   void run_task(const TaskDesc& t, int buffer, Mem& mem);
@@ -147,6 +164,7 @@ class Engine {
 
   MolecularSystem sys_;
   EngineConfig config_;
+  int n_slots_;
   HeapModel heap_;
   CellGrid grid_;
   NeighborList nlist_;

@@ -8,6 +8,7 @@
 // stream and arithmetic costs consumed by the machine simulator.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/units.hpp"
@@ -186,6 +187,10 @@ void coulomb_chunk(const MolecularSystem& sys, const CostTable& costs, ForceBuff
       mem.read_meta(j);
       const Vec3 dr = xi - pos[static_cast<std::size_t>(j)];
       const double r2 = dr.norm2();
+      // Coincident charges have no defined pair direction; dividing through
+      // r = 0 would seed inf/NaN forces that corrupt every later step (the
+      // LJ kernel already skips this case).
+      if (r2 <= 0.0) continue;
       const double r = std::sqrt(r2);
       const double e = units::kCoulomb * qi * sys.charge(j) / r;
       const Vec3 f = dr * (e / r2);
@@ -326,23 +331,78 @@ void torsion_bond_chunk(const MolecularSystem& sys, const CostTable& costs, Forc
 // Phase 5: reduction across the privatized force arrays; the summed force
 // becomes the new acceleration (and each private copy is zeroed for the next
 // step).
+//
+// The dense variant is the paper's O(n_atoms x n_slots) sweep.  The sparse
+// variant consults the per-slot touched-block marks and sums only slots that
+// actually scattered into the block containing atom i: a skipped entry is
+// exactly +0.0 (never written since the last reduction), and x + (+0.0) is a
+// bitwise no-op for every value the accumulator can hold here, so both
+// variants produce bit-identical accelerations.
 // ---------------------------------------------------------------------------
 template <typename Mem>
-void reduce_chunk(MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf, int begin,
-                  int end, Mem& mem) {
+void reduce_chunk_dense(MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf,
+                        int begin, int end, Mem& mem) {
   auto& acc = sys.accelerations();
   const int workers = buf.n_workers();
   for (int i = begin; i < end; ++i) {
     Vec3 total{};
     for (int w = 0; w < workers; ++w) {
       mem.read_private_force(w, i);
-      total += buf.force(w, i);
-      buf.force(w, i) = Vec3{};
+      total += buf.force_raw(w, i);
+      buf.force_raw(w, i) = Vec3{};
       mem.write_private_force(w, i);
     }
     acc[static_cast<std::size_t>(i)] = total * sys.inv_mass(i);
     mem.write_acc(i);
     mem.compute(costs.reduce_atom_per_worker * workers);
+  }
+}
+
+template <typename Mem>
+void reduce_chunk_sparse(MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf,
+                         int begin, int end, Mem& mem) {
+  auto& acc = sys.accelerations();
+  const int workers = buf.n_workers();
+  // Touched-slot lists are per block, not per atom: one bitmap scan covers
+  // kBlockAtoms atoms.  Slot counts beyond the list capacity fall back to
+  // the dense sweep (the engine never exceeds it; direct kernel users might).
+  constexpr int kMaxSlots = 256;
+  if (workers > kMaxSlots) {
+    reduce_chunk_dense(sys, costs, buf, begin, end, mem);
+    return;
+  }
+  int touched[kMaxSlots];
+  int i = begin;
+  while (i < end) {
+    const int block = i >> ForceBuffers::kBlockShift;
+    const int block_end = std::min(end, (block + 1) << ForceBuffers::kBlockShift);
+    int n_touched = 0;
+    for (int w = 0; w < workers; ++w) {
+      if (buf.block_touched(w, block)) touched[n_touched++] = w;
+    }
+    for (; i < block_end; ++i) {
+      Vec3 total{};
+      for (int k = 0; k < n_touched; ++k) {
+        const int w = touched[k];
+        mem.read_private_force(w, i);
+        total += buf.force_raw(w, i);
+        buf.force_raw(w, i) = Vec3{};
+        mem.write_private_force(w, i);
+      }
+      acc[static_cast<std::size_t>(i)] = total * sys.inv_mass(i);
+      mem.write_acc(i);
+      mem.compute(costs.reduce_atom_per_worker * n_touched);
+    }
+  }
+}
+
+template <typename Mem>
+void reduce_chunk(MolecularSystem& sys, const CostTable& costs, ForceBuffers& buf, int begin,
+                  int end, Mem& mem, bool sparse = false) {
+  if (sparse) {
+    reduce_chunk_sparse(sys, costs, buf, begin, end, mem);
+  } else {
+    reduce_chunk_dense(sys, costs, buf, begin, end, mem);
   }
 }
 

@@ -2,30 +2,41 @@
 //
 // Parallel MW creates "one or more fixed sized thread pools ... when the
 // application starts" and dispatches each phase's work to them
-// (Sections I, II-B).  Two queue configurations are supported, matching the
-// paper's discussion of their trade-off:
-//   * QueueMode::Single   — one shared queue; any idle worker picks up
-//                           waiting work, but all workers contend on it.
-//   * QueueMode::PerThread — one queue per worker; no contention, but work
-//                           sits if its designated queue's owner is busy.
+// (Sections I, II-B).  Three queue configurations are supported.  The first
+// two match the paper's discussion of their trade-off; the third resolves it:
+//   * QueueMode::Single       — one shared queue; any idle worker picks up
+//                               waiting work, but all workers contend on it.
+//   * QueueMode::PerThread    — one queue per worker; no contention, but work
+//                               sits if its designated queue's owner is busy.
+//   * QueueMode::WorkStealing — one Chase–Lev deque per worker.  Owners push
+//                               and pop lock-free; an idle worker steals the
+//                               oldest task from a busy peer, so there is
+//                               neither a global contention point nor
+//                               stranded work.  External submissions land in
+//                               a per-worker inbox (a small mutex queue) that
+//                               the owner drains into its deque — and that
+//                               thieves may also raid while the owner is busy.
 // Workers may optionally be pinned to PUs at startup (the JNI
 // sched_setaffinity experiment of Section V-B).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "parallel/affinity.hpp"
 #include "parallel/latch.hpp"
+#include "parallel/steal_deque.hpp"
 #include "parallel/task_queue.hpp"
 #include "topo/cpuset.hpp"
 
 namespace mwx::parallel {
 
-enum class QueueMode { Single, PerThread };
+enum class QueueMode { Single, PerThread, WorkStealing };
 
 struct ThreadPoolConfig {
   int n_threads = 1;
@@ -48,12 +59,16 @@ class FixedThreadPool {
   [[nodiscard]] int n_threads() const { return config_.n_threads; }
   [[nodiscard]] const ThreadPoolConfig& config() const { return config_; }
 
-  // Submits to the shared queue (Single mode) or round-robins (PerThread).
+  // Submits to the shared queue (Single mode) or round-robins
+  // (PerThread/WorkStealing).  Throws ContractError after shutdown — a
+  // silently dropped task would leave quiesce() waiting forever.
   void submit(Task task);
 
   // Submits to a specific worker's queue.  In Single mode this degrades to
   // submit() since all workers share one queue — same semantics Java gives a
-  // single-queue executor.
+  // single-queue executor.  In WorkStealing mode the target is a preference:
+  // the task lands in `worker`'s inbox/deque but may be stolen by an idle
+  // peer.  Throws ContractError after shutdown.
   void submit_to(int worker, Task task);
 
   // Runs body(i) for i in [0, n) split into one contiguous chunk per worker
@@ -90,19 +105,32 @@ class FixedThreadPool {
     return failed_.load(std::memory_order_relaxed);
   }
 
+  // Successful steals performed by pool workers (WorkStealing mode only).
+  [[nodiscard]] long long steals() const { return steals_.load(std::memory_order_relaxed); }
+
  private:
   void worker_main(int index);
+  void worker_main_stealing(int index);
+  void run_one(Task task);
+  void enqueue(int worker, Task task);
   TaskQueue& queue_for(int worker);
 
   ThreadPoolConfig config_;
-  std::vector<std::unique_ptr<TaskQueue>> queues_;
+  std::vector<std::unique_ptr<TaskQueue>> queues_;   // Single/PerThread queues; WS inboxes
+  std::vector<std::unique_ptr<StealDeque>> deques_;  // WorkStealing mode only
   std::vector<std::thread> threads_;
   std::atomic<int> round_robin_{0};
   std::atomic<long long> submitted_{0};
+  std::atomic<long long> taken_{0};  // tasks claimed by a worker (WS sleep predicate)
   std::atomic<long long> completed_{0};
   std::atomic<long long> failed_{0};
+  std::atomic<long long> steals_{0};
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;
+  // WorkStealing idle workers park here; submissions wake them.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> closing_{false};
   bool shutdown_ = false;
 };
 

@@ -30,8 +30,10 @@ struct SimTask {
 };
 
 enum class Assignment {
-  Static,       // task i pre-assigned to its owner's private queue
-  SharedQueue,  // threads pull the next task from one contended queue
+  Static,        // task i pre-assigned to its owner's private queue
+  SharedQueue,   // threads pull the next task from one contended queue
+  WorkStealing,  // per-thread deques; idle threads steal from the back of a
+                 // busy peer's queue (modelled CAS + line-transfer cost)
 };
 
 // A phase ready for simulation: tasks plus their shared access pool.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <queue>
 
 #include "common/require.hpp"
@@ -272,14 +273,21 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
     available[i] = phase_start + static_cast<double>(i + 1) * config_.cost.dispatch_cycles_per_task;
   }
 
-  // Static assignment: per-thread FIFO of task indices.
+  // Static assignment: per-thread FIFO of task indices.  WorkStealing starts
+  // from the same owner placement but lets idle threads raid the back end of
+  // a busy peer's deque.
   std::vector<std::vector<std::uint32_t>> static_queues(static_cast<std::size_t>(n));
   std::vector<std::size_t> static_next(static_cast<std::size_t>(n), 0);
-  if (work.assignment == Assignment::Static) {
+  std::vector<std::deque<std::uint32_t>> ws_queues(static_cast<std::size_t>(n));
+  if (work.assignment == Assignment::Static || work.assignment == Assignment::WorkStealing) {
     for (std::uint32_t i = 0; i < work.tasks.size(); ++i) {
       const int owner = work.tasks[i].owner;
       const int w = owner >= 0 ? owner % n : static_cast<int>(i) % n;
-      static_queues[static_cast<std::size_t>(w)].push_back(i);
+      if (work.assignment == Assignment::Static) {
+        static_queues[static_cast<std::size_t>(w)].push_back(i);
+      } else {
+        ws_queues[static_cast<std::size_t>(w)].push_back(i);
+      }
     }
   }
   std::size_t shared_next = 0;
@@ -325,6 +333,36 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
           got = true;
           t += config_.cost.queue_uncontended_cycles;
           t = std::max(t, available[idx]);
+        }
+      } else if (work.assignment == Assignment::WorkStealing) {
+        auto& own = ws_queues[static_cast<std::size_t>(tid)];
+        if (!own.empty()) {
+          // Owner pop: lock-free bottom-end (newest) take — Chase–Lev LIFO.
+          idx = own.back();
+          own.pop_back();
+          got = true;
+          t += config_.cost.deque_pop_cycles;
+          t = std::max(t, available[idx]);
+        } else {
+          // Probe peers round-robin; steal the top end (oldest task) of the
+          // first busy deque — under a contiguous triangular split that is
+          // the victim's heaviest pending chunk, which is exactly what an
+          // idle thread should relieve it of.
+          for (int k = 1; k < n; ++k) {
+            auto& victim = ws_queues[static_cast<std::size_t>((tid + k) % n)];
+            t += config_.cost.steal_probe_cycles;
+            counters_.steal_overhead_cycles += config_.cost.steal_probe_cycles;
+            if (!victim.empty()) {
+              idx = victim.front();
+              victim.pop_front();
+              got = true;
+              ++counters_.steals;
+              t += config_.cost.steal_cycles;
+              counters_.steal_overhead_cycles += config_.cost.steal_cycles;
+              t = std::max(t, available[idx]);
+              break;
+            }
+          }
         }
       } else {
         if (shared_next < work.tasks.size()) {

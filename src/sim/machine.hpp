@@ -33,6 +33,8 @@ struct MachineCounters {
   long long dram_writebacks = 0;
   double dram_queue_cycles = 0.0;     // aggregate queueing delay at controllers
   long long migrations = 0;
+  long long steals = 0;               // successful WorkStealing task claims
+  double steal_overhead_cycles = 0.0; // probe + CAS + line-transfer cost paid
   double noise_stall_cycles = 0.0;    // pinned threads waiting out noise bursts
   double queue_wait_cycles = 0.0;     // contention on the shared work queue
   double monitor_wait_cycles = 0.0;   // contention on the JaMON global lock

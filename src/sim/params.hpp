@@ -21,6 +21,14 @@ struct CostParams {
   double queue_uncontended_cycles = 35.0;  // per-thread private queue pop
   double dispatch_cycles_per_task = 60.0;  // master pushing one task
 
+  // Work-stealing deque costs.  An owner pop is a lock-free bottom-end
+  // operation on a cache-hot line; a steal pays a CAS on the victim's top
+  // index plus the coherence transfer of the task's cache line; probing an
+  // empty victim still reads its (remote) top/bottom line.
+  double deque_pop_cycles = 25.0;
+  double steal_cycles = 250.0;
+  double steal_probe_cycles = 30.0;
+
   // Barrier trip and park/unpark.
   double barrier_cycles = 600.0;
   double wake_latency_cycles = 3000.0;

@@ -197,6 +197,91 @@ TEST(EngineTest, SharedQueueNativeMatchesWithinTolerance) {
               units::to_ev(native_eng.total_energy()), 1e-6);
 }
 
+TEST(EngineTest, AllQueueModesMatchInlineBitwise) {
+  // The strong determinism claim: with accumulation slots, every queue
+  // discipline — including work stealing, where chunk-to-worker placement
+  // changes run to run — reproduces the inline trajectory bit for bit.
+  // Salt exercises LJ + Coulomb together; chunks_per_thread > 1 gives more
+  // slots than workers so chains genuinely migrate.
+  auto make = [] {
+    auto spec = workloads::make_salt(4);
+    auto cfg = spec.engine;
+    cfg.n_threads = 4;
+    cfg.chunks_per_thread = 2;
+    cfg.assignment = sim::Assignment::WorkStealing;
+    cfg.temporaries = TemporariesMode::InPlace;
+    return Engine(std::move(spec.system), cfg);
+  };
+  Engine inline_eng = make();
+  inline_eng.run_inline(12);
+
+  for (const auto mode : {parallel::QueueMode::Single, parallel::QueueMode::PerThread,
+                          parallel::QueueMode::WorkStealing}) {
+    Engine native_eng = make();
+    parallel::FixedThreadPool pool({.n_threads = 4, .queue_mode = mode});
+    native_eng.run_native(pool, 12);
+    EXPECT_EQ(inline_eng.total_energy(), native_eng.total_energy())
+        << "queue mode " << static_cast<int>(mode);
+    for (int i = 0; i < inline_eng.system().n_atoms(); ++i) {
+      ASSERT_EQ(inline_eng.system().positions()[static_cast<std::size_t>(i)],
+                native_eng.system().positions()[static_cast<std::size_t>(i)])
+          << "atom " << i << " queue mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(EngineTest, SparseReductionMatchesDenseBitwise) {
+  // Untouched entries are exactly +0.0 and adding +0.0 is a bitwise no-op,
+  // so skipping untouched (slot, block) pairs must not change one bit.
+  auto make = [](bool sparse) {
+    auto spec = workloads::make_salt(4);
+    auto cfg = spec.engine;
+    cfg.n_threads = 4;
+    cfg.chunks_per_thread = 2;
+    cfg.assignment = sim::Assignment::WorkStealing;
+    cfg.temporaries = TemporariesMode::InPlace;
+    cfg.sparse_reduction = sparse;
+    return Engine(std::move(spec.system), cfg);
+  };
+  Engine dense = make(false);
+  dense.run_inline(12);
+  Engine sparse = make(true);
+  sparse.run_inline(12);
+  EXPECT_EQ(dense.total_energy(), sparse.total_energy());
+  for (int i = 0; i < dense.system().n_atoms(); ++i) {
+    ASSERT_EQ(dense.system().positions()[static_cast<std::size_t>(i)],
+              sparse.system().positions()[static_cast<std::size_t>(i)])
+        << "atom " << i;
+  }
+}
+
+TEST(EngineTest, WorkStealingAssignmentSimulates) {
+  // The simulated backend's deque model must run the same physics and
+  // account every task (busy time > 0, steal counters consistent).
+  auto spec = workloads::make_salt(4);
+  auto cfg = spec.engine;
+  cfg.n_threads = 4;
+  cfg.chunks_per_thread = 2;
+  cfg.assignment = sim::Assignment::WorkStealing;
+  cfg.temporaries = TemporariesMode::InPlace;
+  Engine inline_eng = [&] {
+    auto s2 = workloads::make_salt(4);
+    return Engine(std::move(s2.system), cfg);
+  }();
+  inline_eng.run_inline(8);
+
+  Engine traced(std::move(spec.system), cfg);
+  sim::Machine machine = make_machine(4);
+  traced.run_simulated(machine, 8);
+
+  EXPECT_EQ(inline_eng.total_energy(), traced.total_energy());
+  EXPECT_GT(machine.now_seconds(), 0.0);
+  EXPECT_GE(machine.counters().steals, 0);
+  if (machine.counters().steals > 0) {
+    EXPECT_GT(machine.counters().steal_overhead_cycles, 0.0);
+  }
+}
+
 TEST(EngineTest, TracedMatchesInlineBitwise) {
   auto make = [](TemporariesMode temps) {
     auto sys = workloads::make_lj_gas(150, 0.011, 150.0, 12);

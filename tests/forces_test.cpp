@@ -245,6 +245,28 @@ TEST(CoulombPhysics, OppositeChargesAttract) {
   EXPECT_NEAR(eng.potential_energy(), -units::kCoulomb / 10.0, 1e-12);
 }
 
+TEST(CoulombPhysics, CoincidentIonsProduceFiniteForces) {
+  // Regression: two charges at the same point gave r2 = 0, and the kernel
+  // divided by it — NaN forces that then poisoned every later accumulation.
+  // The kernel now skips the singular pair exactly like the LJ kernel does.
+  AtomTypeTable types;
+  types.add({"Ion", 30.0, 0.0, 3.0});
+  MolecularSystem sys(types, {{0, 0, 0}, {30, 30, 30}});
+  sys.add_atom(0, {15, 15, 15}, {}, +1.0);
+  sys.add_atom(0, {15, 15, 15}, {}, +1.0);  // exactly coincident
+  sys.add_atom(0, {20, 15, 15}, {}, +1.0);
+  Engine eng(std::move(sys), quiet_config());
+  eng.compute_forces_only();
+  EXPECT_TRUE(std::isfinite(eng.potential_energy()));
+  for (int i = 0; i < eng.system().n_atoms(); ++i) {
+    const Vec3 a = eng.system().accelerations()[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(std::isfinite(a.x) && std::isfinite(a.y) && std::isfinite(a.z))
+        << "atom " << i;
+  }
+  // The surviving pairs still interact: the third ion feels the other two.
+  EXPECT_NE(eng.system().accelerations()[2].x, 0.0);
+}
+
 TEST(CoulombPhysics, LikeChargesRepel) {
   AtomTypeTable types;
   types.add({"Ion", 30.0, 0.0, 3.0});

@@ -240,6 +240,77 @@ TEST(ThreadPoolTest, QuiesceWaitsForAllWork) {
   EXPECT_EQ(slow_done.load(), 8);
 }
 
+TEST(ThreadPoolTest, WorkStealingExecutesAllTasks) {
+  FixedThreadPool pool({.n_threads = 4, .queue_mode = QueueMode::WorkStealing});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) pool.submit([&] { ++count; });
+  pool.quiesce();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(pool.failed_tasks(), 0);
+}
+
+TEST(ThreadPoolTest, WorkStealingSubmitToIsAPreference) {
+  // Everything lands in worker 0's inbox; idle peers must steal the backlog
+  // rather than let it strand — the whole point of the third discipline.
+  FixedThreadPool pool({.n_threads = 4, .queue_mode = QueueMode::WorkStealing});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit_to(0, [&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++count;
+    });
+  }
+  pool.quiesce();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_GT(pool.steals(), 0);
+}
+
+TEST(ThreadPoolTest, WorkStealingNestedSubmitRuns) {
+  // A worker submitting from inside a task pushes onto its own deque.
+  FixedThreadPool pool({.n_threads = 2, .queue_mode = QueueMode::WorkStealing});
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    ++count;
+    pool.submit([&] { ++count; });
+  });
+  pool.quiesce();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, WorkStealingShutdownDrainsQueuedWork) {
+  FixedThreadPool pool({.n_threads = 3, .queue_mode = QueueMode::WorkStealing});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 100);
+}
+
+class QueueModes : public ::testing::TestWithParam<QueueMode> {};
+
+TEST_P(QueueModes, SubmitAfterShutdownThrows) {
+  // A silently dropped task would leave a later quiesce() waiting forever,
+  // so a rejected submission must be loud.
+  FixedThreadPool pool({.n_threads = 2, .queue_mode = GetParam()});
+  pool.submit([] {});
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), ContractError);
+  EXPECT_THROW(pool.submit_to(1, [] {}), ContractError);
+  // The failed submissions must not be counted as pending work.
+  pool.quiesce();
+}
+
+TEST_P(QueueModes, AllModesExecuteSubmitTo) {
+  FixedThreadPool pool({.n_threads = 3, .queue_mode = GetParam()});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 90; ++i) pool.submit_to(i % 3, [&] { ++count; });
+  pool.quiesce();
+  EXPECT_EQ(count.load(), 90);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueueModes, QueueModes,
+                         ::testing::Values(QueueMode::Single, QueueMode::PerThread,
+                                           QueueMode::WorkStealing));
+
 TEST(ThreadPoolTest, PinnedPoolStillExecutes) {
   // Pinning may fail on restricted hosts; work must complete regardless.
   FixedThreadPool pool({.n_threads = 2,
