@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 verify (full build + test suite) plus the tsan
+# preset's concurrency suites (StealDeque/ThreadPool/TaskQueue/QueueModes/
+# Latch/Barrier/TraceRing), which pin the lock-free executor paths, the
+# idempotent-shutdown fix and the trace ring's merge-at-read protocol.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=${JOBS:-$(nproc)}
+
+echo "== tier-1: configure + build + ctest (default preset) =="
+cmake --preset default
+cmake --build --preset default --parallel "${jobs}"
+ctest --preset default -j "${jobs}"
+
+echo "== tsan: concurrency suites (tsan preset) =="
+cmake --preset tsan
+cmake --build --preset tsan --parallel "${jobs}"
+ctest --preset tsan -j "${jobs}"
+
+echo "CI OK"

@@ -201,6 +201,8 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
     return;
   }
 
+  const double phase_trace0 = native_trace_ != nullptr ? native_trace_->now() : 0.0;
+
   // Native threaded backend.  Tasks sharing an accumulation slot form a
   // chain that executes serially in submission order; only that slot's
   // privatized buffers are written.  Whichever worker runs the chain — and
@@ -229,8 +231,18 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
       NullMem mem;
       for (const TaskDesc& t : chain) {
         const double t0 = native_clock_.elapsed_seconds();
+        const double trace0 = native_trace_ != nullptr ? native_trace_->now() : 0.0;
         run_task(t, slot, mem);
         const double t1 = native_clock_.elapsed_seconds();
+        if (native_trace_ != nullptr) {
+          // Same per-task repetition knob as the JaMON path below, so the
+          // observer-effect self-audit compares the two layers at equal
+          // event rates; an untouched config records one event per task.
+          const double trace1 = native_trace_->now();
+          for (int m = 0; m < std::max(1, config_.monitor_updates_per_task); ++m) {
+            native_trace_->record(worker, perf::TraceKind::Task, tag, trace0, trace1, slot);
+          }
+        }
         if (native_log_ != nullptr) {
           native_log_->record(worker, tag, t0, t1, parallel::current_cpu());
         }
@@ -249,6 +261,11 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
     }
   }
   latch.await();
+  if (native_trace_ != nullptr) {
+    // Phase bracket on the master's lane: dispatch to barrier release.
+    native_trace_->record(native_trace_->external_lane(), perf::TraceKind::Phase, tag,
+                          phase_trace0, native_trace_->now(), n_chains);
+  }
 }
 
 void Engine::master_rebuild_prologue(sim::Machine* machine) {
@@ -273,6 +290,8 @@ void Engine::master_rebuild_prologue(sim::Machine* machine) {
 }
 
 void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
+  const double sim_step_begin = machine != nullptr ? machine->now_seconds() : 0.0;
+
   // Phase 1: predictor.
   exec_phase(pool, machine, kPhasePredictor, atom_phase_tasks(Kind::Predictor));
 
@@ -306,6 +325,11 @@ void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
                           machine->config().spec.ghz * 1e9);
       tracker_.collect_garbage();
     }
+  }
+  if (machine != nullptr && machine->config().trace != nullptr) {
+    perf::TraceRing* trace = machine->config().trace;
+    trace->record(trace->external_lane(), perf::TraceKind::SimStep,
+                  static_cast<int>(steps_done_), sim_step_begin, machine->now_seconds());
   }
   ++steps_done_;
 }

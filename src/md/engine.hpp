@@ -41,6 +41,7 @@
 #include "perf/event_log.hpp"
 #include "perf/monitor.hpp"
 #include "perf/scoped_timer.hpp"
+#include "perf/trace_ring.hpp"
 #include "sim/machine.hpp"
 
 namespace mwx::md {
@@ -129,6 +130,18 @@ class Engine {
   // Optional native-mode instrumentation.
   void attach_monitor(perf::JamonMonitor* monitor) { native_monitor_ = monitor; }
   void attach_event_log(perf::EventLog* log) { native_log_ = log; }
+  // Lock-free trace layer (the corrected Section IV-A design): workers
+  // record Task events into lane == worker index, the master records Phase
+  // brackets into the external lane.  The ring needs n_threads + 1 lanes and
+  // may be shared with the pool's attach_trace().  When
+  // monitor_updates_per_task > 0 the engine emits that many records per task
+  // — the same call-tree depth knob the JaMON path uses — so the self-audit
+  // bench can compare the two layers at identical event rates.
+  void attach_trace(perf::TraceRing* trace) {
+    require(trace == nullptr || trace->n_lanes() >= config_.n_threads + 1,
+            "trace ring needs a lane per worker plus one external lane");
+    native_trace_ = trace;
+  }
 
  private:
   enum class Kind { Predictor, Check, FusedLj, Coulomb, RadialBonds, AngularBonds,
@@ -180,6 +193,7 @@ class Engine {
   long long steps_done_ = 0;
   perf::JamonMonitor* native_monitor_ = nullptr;
   perf::EventLog* native_log_ = nullptr;
+  perf::TraceRing* native_trace_ = nullptr;
   perf::StopWatch native_clock_;
 };
 

@@ -19,10 +19,16 @@ void NeighborList::begin_rebuild(const std::vector<Vec3>& positions) {
 bool NeighborList::chunk_exceeds_skin(const std::vector<Vec3>& positions, int begin,
                                       int end) const {
   if (!ever_built()) return true;
-  const double limit = 0.5 * skin_;
+  // Euclidean displacement against skin/2: the list guarantees correctness
+  // while every atom stays within skin/2 *of distance* of its reference
+  // position (two atoms approaching each other close the skin gap at up to
+  // skin/2 each).  The per-component (Chebyshev) check used previously let a
+  // diagonal drift of up to (sqrt(3)/2)*skin slip through, silently dropping
+  // pair interactions between rebuilds.
+  const double limit2 = 0.25 * skin_ * skin_;
   for (int i = begin; i < end; ++i) {
     const Vec3 d = positions[static_cast<std::size_t>(i)] - ref_pos_[static_cast<std::size_t>(i)];
-    if (d.max_abs_component() > limit) return true;
+    if (d.norm2() > limit2) return true;
   }
   return false;
 }

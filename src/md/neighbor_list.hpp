@@ -6,7 +6,8 @@
 // analyzes.  The list radius is cutoff + skin; the list is invalidated when
 // any atom has moved more than skin/2 in any single dimension since the last
 // rebuild ("when any atom moves in any dimension by more than a threshold
-// value").
+// value") — measured as Euclidean displacement, since a diagonal drift closes
+// the skin gap just as surely as an axis-aligned one.
 //
 // Storage is fixed-capacity slots per atom so concurrent chunks can build
 // their atoms' lists independently (the fused phase 3+4 runs in parallel).
@@ -61,9 +62,9 @@ class NeighborList {
     return n;
   }
 
-  // True when some atom in [begin, end) has drifted beyond skin/2 in any
-  // dimension since the last rebuild (the per-chunk validity check of
-  // phase 2).
+  // True when some atom in [begin, end) has drifted more than skin/2 (by
+  // Euclidean distance) since the last rebuild — the per-chunk validity
+  // check of phase 2.
   [[nodiscard]] bool chunk_exceeds_skin(const std::vector<Vec3>& positions, int begin,
                                         int end) const;
 

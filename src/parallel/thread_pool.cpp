@@ -79,6 +79,7 @@ void FixedThreadPool::enqueue(int worker, Task task) {
 }
 
 void FixedThreadPool::run_one(Task task) {
+  const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
   try {
     task();
   } catch (...) {
@@ -86,6 +87,10 @@ void FixedThreadPool::run_one(Task task) {
     // task, like an ExecutorService).  The failure is counted and the
     // pool keeps serving.
     failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(t_worker_index, perf::TraceKind::Task, /*tag=*/0, trace_begin,
+                   trace_->now());
   }
   completed_.fetch_add(1, std::memory_order_release);
   // Lock-then-notify so a quiescing thread between its predicate check and
@@ -132,7 +137,14 @@ void FixedThreadPool::worker_main_stealing(int index) {
         const std::size_t victim = static_cast<std::size_t>((index + k) % n);
         task = deques_[victim]->steal();
         if (!task) task = queues_[victim]->try_pop();
-        if (task) steals_.fetch_add(1, std::memory_order_relaxed);
+        if (task) {
+          steals_.fetch_add(1, std::memory_order_relaxed);
+          if (trace_ != nullptr) {
+            const double now = trace_->now();
+            trace_->record(index, perf::TraceKind::Steal, /*tag=*/0, now, now,
+                           static_cast<int>(victim));
+          }
+        }
       }
     }
     if (task) {
@@ -157,19 +169,30 @@ void FixedThreadPool::worker_main_stealing(int index) {
 }
 
 void FixedThreadPool::quiesce() {
-  std::unique_lock lock(quiesce_mutex_);
-  quiesce_cv_.wait(lock, [this] {
-    return completed_.load(std::memory_order_acquire) ==
-           submitted_.load(std::memory_order_acquire);
-  });
+  const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+  {
+    std::unique_lock lock(quiesce_mutex_);
+    quiesce_cv_.wait(lock, [this] {
+      return completed_.load(std::memory_order_acquire) ==
+             submitted_.load(std::memory_order_acquire);
+    });
+  }
+  if (trace_ != nullptr) {
+    const int lane = t_worker_pool == this ? t_worker_index : trace_->external_lane();
+    trace_->record(lane, perf::TraceKind::Quiesce, /*tag=*/0, trace_begin, trace_->now());
+  }
 }
 
 void FixedThreadPool::shutdown() {
-  if (shutdown_) return;
-  shutdown_ = true;
+  // The exchange makes concurrent shutdown() calls (or shutdown() racing the
+  // destructor) claim the teardown exactly once; the mutex makes the losers
+  // wait until the winner has joined every worker, so no caller can return
+  // and start destroying the pool while threads are still draining.
+  std::lock_guard lock(shutdown_mutex_);
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& q : queues_) q->close();
   {
-    std::lock_guard lock(sleep_mutex_);
+    std::lock_guard sleep_lock(sleep_mutex_);
     closing_.store(true, std::memory_order_release);
   }
   sleep_cv_.notify_all();

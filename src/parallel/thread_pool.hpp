@@ -32,6 +32,7 @@
 #include "parallel/latch.hpp"
 #include "parallel/steal_deque.hpp"
 #include "parallel/task_queue.hpp"
+#include "perf/trace_ring.hpp"
 #include "topo/cpuset.hpp"
 
 namespace mwx::parallel {
@@ -108,6 +109,16 @@ class FixedThreadPool {
   // Successful steals performed by pool workers (WorkStealing mode only).
   [[nodiscard]] long long steals() const { return steals_.load(std::memory_order_relaxed); }
 
+  // Attaches a lock-free trace ring: workers record Task events into lane
+  // == worker index and Steal/Quiesce events as they happen.  The ring needs
+  // n_threads + 1 lanes (the extra one for external callers).  Attach before
+  // submitting work; detach (nullptr) only after quiesce().
+  void attach_trace(perf::TraceRing* trace) {
+    require(trace == nullptr || trace->n_lanes() >= config_.n_threads + 1,
+            "trace ring needs a lane per worker plus one external lane");
+    trace_ = trace;
+  }
+
  private:
   void worker_main(int index);
   void worker_main_stealing(int index);
@@ -131,7 +142,13 @@ class FixedThreadPool {
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
   std::atomic<bool> closing_{false};
-  bool shutdown_ = false;
+  // shutdown() must be idempotent *and* safe against concurrent callers
+  // (explicit shutdown racing the destructor): the atomic flag makes the
+  // check-and-set a single operation, and the mutex makes every caller wait
+  // until the workers are actually joined before returning.
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mutex_;
+  perf::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace mwx::parallel

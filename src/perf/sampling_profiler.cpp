@@ -43,9 +43,14 @@ SamplingReport sample(const EventLog& log, double period_seconds, double offset)
     p.thread = th;
     for (double t = t0 + offset; t < t1; t += period_seconds) {
       ++p.samples_total;
-      if (log.at(th, t) != nullptr) ++p.samples_busy;
+      if (log.at(th, t) != nullptr) {
+        ++p.samples_busy;
+        // Sample-and-hold credits the whole window to the sampled state, but
+        // the final window may extend past the log: crediting a full period
+        // there displays busy time that cannot exist.  Clamp it to the span.
+        p.displayed_busy_seconds += std::min(period_seconds, t1 - t);
+      }
     }
-    p.displayed_busy_seconds = static_cast<double>(p.samples_busy) * period_seconds;
     p.true_busy_seconds = log.busy_in(th, t0, t1);
     report.threads.push_back(p);
   }
@@ -55,6 +60,7 @@ SamplingReport sample(const EventLog& log, double period_seconds, double offset)
 long long count_false_windows(const EventLog& log, int thread, double period_seconds,
                               double truth_fraction, double offset) {
   require(period_seconds > 0.0, "sampling period must be positive");
+  require(offset >= 0.0 && offset < period_seconds, "offset must be in [0, period)");
   const auto [t0, t1] = log.span();
   long long false_windows = 0;
   for (double t = t0 + offset; t < t1; t += period_seconds) {

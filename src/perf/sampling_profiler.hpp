@@ -17,7 +17,8 @@ struct SampledThreadProfile {
   int thread = 0;
   long long samples_total = 0;
   long long samples_busy = 0;
-  // Busy time the tool *displays*: samples_busy * period (sample-and-hold).
+  // Busy time the tool *displays*: one held period per busy sample
+  // (sample-and-hold), with the final window clamped to the log span.
   double displayed_busy_seconds = 0.0;
   // Exact busy time from the event log over the same window.
   double true_busy_seconds = 0.0;

@@ -52,6 +52,9 @@ Machine::Machine(MachineConfig config)
 
   if (config_.instrumentation_agent) agent_core_ = spec.n_cores() - 1;
 
+  require(config_.trace == nullptr || config_.trace->n_lanes() >= config_.n_threads + 1,
+          "trace ring needs a lane per worker thread plus one external lane");
+
   threads_.resize(static_cast<std::size_t>(config_.n_threads));
   for (int i = 0; i < config_.n_threads; ++i) {
     ThreadState& ts = threads_[static_cast<std::size_t>(i)];
@@ -360,6 +363,10 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
               t += config_.cost.steal_cycles;
               counters_.steal_overhead_cycles += config_.cost.steal_cycles;
               t = std::max(t, available[idx]);
+              if (config_.trace != nullptr) {
+                config_.trace->record(tid, perf::TraceKind::Steal, work.tag, to_seconds(t),
+                                      to_seconds(t), (tid + k) % n);
+              }
               break;
             }
           }
@@ -433,6 +440,10 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
       event_log_.record(tid, work.tag, to_seconds(ts.task_begin), to_seconds(t),
                         ts.pu >= 0 ? config_.spec.pu_to_core(ts.pu) : -1);
     }
+    if (config_.trace != nullptr) {
+      config_.trace->record(tid, perf::TraceKind::Task, work.tag, to_seconds(ts.task_begin),
+                            to_seconds(t), task.owner);
+    }
     ts.task = nullptr;
     ts.state = 0;
     ts.time = t;
@@ -455,6 +466,11 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
   }
   global_cycles_ = release;
   result.end_seconds = to_seconds(release);
+  if (config_.trace != nullptr) {
+    config_.trace->record(config_.trace->external_lane(), perf::TraceKind::Phase, work.tag,
+                          result.begin_seconds, result.end_seconds,
+                          static_cast<int>(work.tasks.size()));
+  }
   return result;
 }
 

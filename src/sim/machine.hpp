@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "perf/event_log.hpp"
+#include "perf/trace_ring.hpp"
 #include "sim/access.hpp"
 #include "sim/cache.hpp"
 #include "sim/params.hpp"
@@ -73,6 +74,11 @@ struct MachineConfig {
   // VisualVM-style agent: one core permanently busy with tool traffic, and
   // PhaseWork.instr_calls charge instrumentation_call_cycles each.
   bool instrumentation_agent = false;
+  // Optional lock-free trace sink (n_threads + 1 lanes): per-task Task
+  // events, Steal events and Phase brackets are recorded in *simulated*
+  // seconds, so native and simulated traces of the same workload are
+  // directly comparable in the chrome://tracing view.
+  perf::TraceRing* trace = nullptr;
 };
 
 class Machine {

@@ -270,19 +270,35 @@ TEST(NeighborListTest, CapacityOverflowThrows) {
   EXPECT_THROW(nl.add_neighbor(0, 3), ContractError);
 }
 
-TEST(NeighborListTest, SkinTriggerPerDimension) {
+TEST(NeighborListTest, SkinTriggerOnAxisDrift) {
   NeighborList nl(2, 3.0, 1.0);
   std::vector<Vec3> pos{{5, 5, 5}, {7, 5, 5}};
   nl.begin_rebuild(pos);
   nl.end_rebuild();
   EXPECT_FALSE(nl.chunk_exceeds_skin(pos, 0, 2));
-  // Move one atom by 0.4 in y: under skin/2 = 0.5.
+  // Move one atom by 0.4 in y: under the skin/2 = 0.5 displacement bound.
   pos[1].y += 0.4;
   EXPECT_FALSE(nl.chunk_exceeds_skin(pos, 0, 2));
   pos[1].y += 0.2;  // total 0.6 > 0.5
   EXPECT_TRUE(nl.chunk_exceeds_skin(pos, 0, 2));
   // Chunk that excludes the moved atom stays valid.
   EXPECT_FALSE(nl.chunk_exceeds_skin(pos, 0, 1));
+}
+
+TEST(NeighborListTest, SkinTriggerOnDiagonalDrift) {
+  // Regression: the check used to compare max |component| against skin/2 (a
+  // Chebyshev bound), so a diagonal drift of up to (sqrt(3)/2)*skin — here
+  // |(0.35, 0.35, 0.35)| ~= 0.606 > 0.5 — slipped past and the stale list
+  // silently dropped pair interactions.  The criterion is Euclidean.
+  NeighborList nl(2, 3.0, 1.0);
+  std::vector<Vec3> pos{{5, 5, 5}, {7, 5, 5}};
+  nl.begin_rebuild(pos);
+  nl.end_rebuild();
+  pos[1] += Vec3(0.35, 0.35, 0.35);
+  EXPECT_TRUE(nl.chunk_exceeds_skin(pos, 0, 2));
+  // A diagonal drift inside the Euclidean ball stays valid: |d| ~= 0.43.
+  pos[1] = Vec3(7, 5, 5) + Vec3(0.25, 0.25, 0.25);
+  EXPECT_FALSE(nl.chunk_exceeds_skin(pos, 0, 2));
 }
 
 TEST(NeighborListTest, NeverBuiltAlwaysInvalid) {

@@ -285,6 +285,66 @@ TEST(ThreadPoolTest, WorkStealingShutdownDrainsQueuedWork) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPoolTest, ConcurrentShutdownJoinsExactlyOnce) {
+  // shutdown() used to check-and-set a plain bool: two concurrent callers
+  // (e.g. an explicit shutdown racing the destructor) could both run the
+  // teardown and double-join the workers.  The atomic exchange makes one
+  // caller win, and every caller must block until the workers are joined.
+  for (int round = 0; round < 20; ++round) {
+    FixedThreadPool pool({.n_threads = 4, .queue_mode = QueueMode::WorkStealing});
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 4; ++c) callers.emplace_back([&pool] { pool.shutdown(); });
+    for (auto& t : callers) t.join();
+    // Every caller returned only after the drain: queued work is complete.
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPoolTest, WorkStealingSubmitRacingShutdownNeverLosesTasks) {
+  // Workers respawning work through the lock-free owner-push path while an
+  // external thread shuts the pool down: every submission must either run
+  // (owner pushes land on an open deque and are drained) or throw (inbox
+  // closed) — a task that silently vanishes would corrupt the
+  // submitted_/taken_ accounting and hang a later quiesce or shutdown.
+  for (int round = 0; round < 10; ++round) {
+    FixedThreadPool pool({.n_threads = 4, .queue_mode = QueueMode::WorkStealing});
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+    std::atomic<int> rejected{0};
+    std::atomic<int> budget{2000};
+    std::function<void()> task = [&] {
+      ++executed;
+      if (budget.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+      // Mix owner pushes (own index) with inbox routes (peer index).
+      const int self = FixedThreadPool::current_worker();
+      const int target = executed.load(std::memory_order_relaxed) % 2 == 0
+                             ? self
+                             : (self + 1) % 4;
+      try {
+        pool.submit_to(target, task);
+        ++accepted;
+      } catch (const ContractError&) {
+        ++rejected;
+      }
+    };
+    int seeded = 0;
+    for (int i = 0; i < 16; ++i) {
+      try {
+        pool.submit(task);
+        ++seeded;
+      } catch (const ContractError&) {
+      }
+    }
+    pool.shutdown();  // races the in-flight respawns
+    // shutdown() returns only after the workers drained and joined, so every
+    // accepted submission has executed: run-or-throw, nothing vanished.
+    EXPECT_EQ(executed.load(), seeded + accepted.load());
+    EXPECT_GE(rejected.load(), 0);
+  }
+}
+
 class QueueModes : public ::testing::TestWithParam<QueueMode> {};
 
 TEST_P(QueueModes, SubmitAfterShutdownThrows) {

@@ -164,6 +164,29 @@ TEST(SamplingTest, SamplePeriodValidation) {
   EXPECT_THROW(sample(log, 0.1, 0.2), ContractError);
 }
 
+TEST(SamplingTest, DisplayedBusySecondsClampToLogSpan) {
+  // One thread busy for exactly [0, 1) sampled at 0.4 s: samples at 0, 0.4
+  // and 0.8 are all busy.  Sample-and-hold used to credit a full period to
+  // the final window (3 * 0.4 = 1.2 displayed busy seconds out of a 1.0 s
+  // log); the last window must be clamped to the span.
+  EventLog log(1);
+  log.record(0, 1, 0.0, 1.0);
+  const SamplingReport r = sample(log, 0.4);
+  EXPECT_EQ(r.threads[0].samples_busy, 3);
+  EXPECT_DOUBLE_EQ(r.threads[0].displayed_busy_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(r.threads[0].true_busy_seconds, 1.0);
+}
+
+TEST(SamplingTest, CountFalseWindowsValidatesOffset) {
+  // sample() rejects offsets outside [0, period); count_false_windows used
+  // to skip the check — an offset >= period silently skipped whole windows
+  // and an offset below zero sampled before the log began.
+  const EventLog log = make_imbalanced_log();
+  EXPECT_THROW(count_false_windows(log, 0, 0.1, 0.5, 0.1), ContractError);
+  EXPECT_THROW(count_false_windows(log, 0, 0.1, 0.5, -0.05), ContractError);
+  EXPECT_NO_THROW(count_false_windows(log, 0, 0.1, 0.5, 0.05));
+}
+
 TEST(SamplingTest, FalseWindowsAppearAtCoarsePeriods) {
   // Thread busy only 10% of each 10 ms interval, right at the sample point:
   // sample-and-hold displays "busy" for windows that are 90% idle.
