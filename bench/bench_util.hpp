@@ -93,6 +93,8 @@ struct RunOptions {
   bool instrumentation_agent = false;
   bool record_residency = false;
   bool reorder_on_rebuild = false;
+  int reorder_interval = 0;  // Morton pass cadence in rebuilds; 0 = never
+  bool tiled_lj = true;
   std::uint64_t workload_seed = 7;
 };
 
@@ -119,6 +121,8 @@ inline RunResult run_simulated(const std::string& spec_name, const RunOptions& o
   cfg.monitor_updates_per_task = opt.monitor_updates_per_task;
   cfg.instr_calls_per_task = opt.instr_calls_per_task;
   cfg.reorder_on_rebuild = opt.reorder_on_rebuild;
+  cfg.reorder_interval = opt.reorder_interval;
+  cfg.tiled_lj = opt.tiled_lj;
   md::Engine engine(std::move(spec.system), cfg);
 
   sim::MachineConfig mc;

@@ -16,6 +16,9 @@ struct CostTable {
   double bin_atom = 45.0;           // serial linked-cell repopulation
   double nbr_candidate = 11.0;      // distance test against a cell occupant
   double nbr_accept = 7.0;          // appending one neighbor entry
+  double nbr_count_store = 4.0;     // storing one atom's CSR row count
+  double nbr_prefix_atom = 2.5;     // serial prefix-sum step per atom
+  double reorder_atom = 95.0;       // moving one atom's state in a Morton pass
   double lj_pair = 55.0;
   double coulomb_pair = 115.0;
   double radial_bond = 450.0;

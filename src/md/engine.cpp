@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "md/morton.hpp"
 #include "parallel/latch.hpp"
 
 namespace mwx::md {
@@ -13,8 +14,7 @@ Engine::Engine(MolecularSystem sys, EngineConfig config)
       n_slots_(compute_slots(config)),
       heap_(config.heap, std::max(1, sys_.n_atoms())),
       grid_(sys_.box().lo, sys_.box().hi, config.cutoff + config.skin),
-      nlist_(std::max(1, sys_.n_atoms()), config.cutoff, config.skin,
-             config.neighbor_capacity),
+      nlist_(std::max(1, sys_.n_atoms()), config.cutoff, config.skin),
       lj_(sys_, config.cutoff),
       buffers_(n_slots_, std::max(1, sys_.n_atoms())),
       tracker_(n_slots_) {
@@ -30,7 +30,10 @@ Engine::Engine(MolecularSystem sys, EngineConfig config)
       "Atom", config_.heap.atom_object_bytes + 4 * config_.heap.vec3_object_bytes,
       /*transient_type=*/false);
   for (int i = 0; i < sys_.n_atoms(); ++i) tracker_.on_alloc(atom_type, 0);
-  // Other long-lived structures, so live-heap fractions are meaningful.
+  require(config_.reorder_interval >= 0, "reorder_interval must be non-negative");
+  // Other long-lived structures, so live-heap fractions are meaningful.  The
+  // neighbor table is accounted at the modelled Java fixed width; the CSR
+  // store the engine actually uses is a fraction of this.
   const int nbr_type = tracker_.register_type(
       "neighbor lists (int[])",
       static_cast<std::size_t>(sys_.n_atoms()) *
@@ -71,6 +74,26 @@ std::vector<Engine::TaskDesc> Engine::atom_phase_tasks(Kind kind) const {
   tasks.reserve(ranges.size());
   int idx = 0;
   for (auto [b, e] : ranges) tasks.push_back({kind, b, e, idx++ % n_slots_});
+  return tasks;
+}
+
+std::vector<Engine::TaskDesc> Engine::neighbor_count_tasks() const {
+  // Mirrors the FusedLj decomposition so the count pass sees the same
+  // per-chunk balance as the fill it precedes.
+  std::vector<TaskDesc> tasks;
+  const int n_chunks = config_.n_threads * config_.chunks_per_thread;
+  if (config_.assignment == sim::Assignment::WorkStealing) {
+    std::vector<std::pair<int, int>> ranges;
+    chunk_range(sys_.n_atoms(), n_chunks, ranges);
+    int c = 0;
+    for (auto [b, e] : ranges)
+      tasks.push_back({Kind::NeighborCount, b, e, c++ % n_slots_, 1});
+  } else {
+    const int k = std::min(n_chunks, sys_.n_atoms());
+    for (int c = 0; c < k; ++c) {
+      tasks.push_back({Kind::NeighborCount, c, sys_.n_atoms(), c % n_slots_, k});
+    }
+  }
   return tasks;
 }
 
@@ -146,9 +169,13 @@ void Engine::run_task(const TaskDesc& t, int buffer, Mem& mem) {
         rebuild_flag_.store(true, std::memory_order_relaxed);
       }
       break;
+    case Kind::NeighborCount:
+      neighbor_count_chunk(sys_, grid_, nlist_, config_.costs, t.begin, t.end, t.stride, mem);
+      break;
     case Kind::FusedLj:
       fused_neighbors_lj_chunk(sys_, grid_, nlist_, lj_, config_.costs, rebuild_now_,
-                               buffers_, buffer, t.begin, t.end, t.stride, mem);
+                               buffers_, buffer, t.begin, t.end, t.stride, mem,
+                               config_.tiled_lj);
       break;
     case Kind::Coulomb:
       coulomb_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, t.stride, mem);
@@ -269,6 +296,23 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
 }
 
 void Engine::master_rebuild_prologue(sim::Machine* machine) {
+  // Morton pass: physically permute the atom arrays into Z-order before the
+  // grid/list rebuild, so the fresh cells, reference snapshot and CSR rows
+  // are all built against the new storage order.  This point in the step is
+  // the one place a permutation is safe: the private force buffers are all
+  // zero (the previous reduction drained them) and nothing downstream holds
+  // raw indices across the rebuild.
+  if (config_.reorder_interval > 0 &&
+      nlist_.rebuild_count() % config_.reorder_interval == 0) {
+    const std::vector<int> order = morton_order(sys_.positions(), sys_.box().lo,
+                                                sys_.box().hi, config_.cutoff + config_.skin);
+    sys_.permute(order);
+    heap_.permute_objects(order);
+    if (machine != nullptr) {
+      machine->run_serial(config_.costs.reorder_atom * sys_.n_atoms());
+    }
+  }
+
   // Serial master work: repopulate the linked cells, snapshot reference
   // positions, and (for the data-packing experiment) request an object
   // reorder in cell-traversal order.
@@ -300,8 +344,17 @@ void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
   exec_phase(pool, machine, kPhaseCheck, atom_phase_tasks(Kind::Check));
   rebuild_now_ = rebuild_flag_.load(std::memory_order_relaxed);
 
-  // Phases 3+4 (fused): optional rebuild + all force computations.
-  if (rebuild_now_) master_rebuild_prologue(machine);
+  // Phases 3+4 (fused): optional rebuild + all force computations.  The CSR
+  // rebuild inserts a parallel count pass and a serial prefix sum between
+  // the master prologue and the fill-and-compute phase.
+  if (rebuild_now_) {
+    master_rebuild_prologue(machine);
+    exec_phase(pool, machine, kPhaseNeighborCount, neighbor_count_tasks());
+    nlist_.finalize_offsets();
+    if (machine != nullptr) {
+      machine->run_serial(config_.costs.nbr_prefix_atom * sys_.n_atoms());
+    }
+  }
   exec_phase(pool, machine, kPhaseForces, forces_phase_tasks());
   if (rebuild_now_) nlist_.end_rebuild();
 
@@ -354,6 +407,8 @@ void Engine::compute_forces_only() {
   rebuild_now_ = true;
   master_rebuild_prologue(nullptr);
   NullMem mem;
+  for (const TaskDesc& t : neighbor_count_tasks()) run_task(t, t.owner, mem);
+  nlist_.finalize_offsets();
   for (const TaskDesc& t : forces_phase_tasks()) run_task(t, t.owner, mem);
   nlist_.end_rebuild();
   for (const TaskDesc& t : atom_phase_tasks(Kind::Reduce)) run_task(t, t.owner, mem);

@@ -57,6 +57,9 @@ struct EngineConfig {
   double dt_fs = 2.0;
   double cutoff = 8.0;  // Å
   double skin = 0.9;    // Å
+  // Width of the modelled Java int[n][cap] neighbor table (allocation-tracker
+  // accounting only).  The engine itself stores neighbors in a compacted CSR
+  // list sized to the actual pair count.
   int neighbor_capacity = 384;
 
   HeapConfig heap;  // layout model for the simulated backend
@@ -69,8 +72,21 @@ struct EngineConfig {
 
   // Data-packing experiment (Section V-A): on every neighbor rebuild,
   // request that atom objects be re-laid in cell-traversal order.  Whether
-  // anything actually moves depends on heap.layout.
+  // anything actually moves depends on heap.layout.  This only nudges the
+  // *modelled* addresses — the paper's (failed) Java-side attempt.
   bool reorder_on_rebuild = false;
+
+  // Morton reordering pass (the optimization Java could not express): every
+  // reorder_interval-th neighbor rebuild, physically permute the system's
+  // SoA arrays into Z-order and re-lay the modelled heap to match, so both
+  // the native wall clock and the simulated address stream see the packed
+  // layout.  0 disables the pass (the seed-identical default).
+  int reorder_interval = 0;
+
+  // Evaluate the LJ inner loop with the tiled (vector-friendly) kernel.
+  // Bit-identical to the scalar path by construction; the switch exists for
+  // the locality bench's before/after comparison.
+  bool tiled_lj = true;
 
   // Phase 5 sweeps only the (slot, block) pairs the force kernels actually
   // scattered into instead of the full O(n_atoms x n_slots) matrix.
@@ -83,7 +99,8 @@ struct EngineConfig {
 enum PhaseId : int {
   kPhasePredictor = 1,
   kPhaseCheck = 2,
-  kPhaseForces = 4,  // fused 3+4
+  kPhaseNeighborCount = 3,  // CSR count pass (rebuild steps only)
+  kPhaseForces = 4,         // fused 3+4
   kPhaseReduce = 5,
   kPhaseCorrector = 6,
 };
@@ -144,8 +161,8 @@ class Engine {
   }
 
  private:
-  enum class Kind { Predictor, Check, FusedLj, Coulomb, RadialBonds, AngularBonds,
-                    TorsionBonds, Reduce, Corrector };
+  enum class Kind { Predictor, Check, NeighborCount, FusedLj, Coulomb, RadialBonds,
+                    AngularBonds, TorsionBonds, Reduce, Corrector };
   struct TaskDesc {
     Kind kind;
     int begin;
@@ -162,6 +179,7 @@ class Engine {
 
   [[nodiscard]] std::vector<TaskDesc> atom_phase_tasks(Kind kind) const;
   [[nodiscard]] std::vector<TaskDesc> forces_phase_tasks() const;
+  [[nodiscard]] std::vector<TaskDesc> neighbor_count_tasks() const;
   static void chunk_range(int n, int n_chunks, std::vector<std::pair<int, int>>& out);
   [[nodiscard]] static int compute_slots(const EngineConfig& config);
 

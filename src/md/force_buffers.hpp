@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -108,9 +109,23 @@ class ForceBuffers {
     return s;
   }
 
+  // Resets every accumulator to exactly +0.0.  Only touched blocks are
+  // swept: an untouched entry has never been written since the last sweep,
+  // so it is already +0.0 — the same invariant the sparse reduction relies
+  // on.  (Writes through force_raw() bypass the touch marks by design; such
+  // callers — the reduction, which always zeroes behind itself — must leave
+  // entries at +0.0.)
   void zero_forces() {
-    for (auto& w : force_) {
-      for (auto& f : w) f = Vec3{};
+    for (int w = 0; w < n_workers_; ++w) {
+      auto& slot = force_[static_cast<std::size_t>(w)];
+      for (int b = 0; b < n_blocks_; ++b) {
+        if (!block_touched(w, b)) continue;
+        const std::size_t begin = static_cast<std::size_t>(b) << kBlockShift;
+        const std::size_t end =
+            std::min(slot.size(), begin + static_cast<std::size_t>(kBlockAtoms));
+        std::fill(slot.begin() + static_cast<std::ptrdiff_t>(begin),
+                  slot.begin() + static_cast<std::ptrdiff_t>(end), Vec3{});
+      }
     }
     clear_touched();
   }

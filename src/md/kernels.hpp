@@ -77,16 +77,72 @@ bool check_chunk(const MolecularSystem& sys, const NeighborList& nlist, const Co
 }
 
 // ---------------------------------------------------------------------------
-// Phases 3+4 (fused): per atom, optionally rebuild its neighbor list from
-// the (pre-binned) linked cells, then compute Lennard-Jones forces over the
-// list.  Pair (i, j) is processed by the lower index i — the paper's
-// convention — with j's share written into this worker's private buffer.
+// Phase 3a: neighbor counting — the first step of the compacted CSR rebuild.
+// Each chunk scans its atoms' candidate cells with exactly the acceptance
+// test the fill pass will apply and records only the count; the serial
+// prefix sum (NeighborList::finalize_offsets) then sizes each row exactly.
+// The count depends only on the position snapshot and cell contents, so the
+// resulting offsets are identical for any chunking/worker count.  The scan
+// is modelled as an in-place distance test (no boxed temporaries): counting
+// allocates nothing even in the Java-temporaries mode.
 // ---------------------------------------------------------------------------
+template <typename Mem>
+void neighbor_count_chunk(const MolecularSystem& sys, const CellGrid& grid,
+                          NeighborList& nlist, const CostTable& costs, int begin, int end,
+                          int stride, Mem& mem) {
+  const auto& pos = sys.positions();
+  const double reach2 = nlist.reach() * nlist.reach();
+  for (int i = begin; i < end; i += stride) {
+    mem.read_pos(i);
+    mem.read_meta(i);
+    const Vec3 xi = pos[static_cast<std::size_t>(i)];
+    const bool mi = sys.movable(i);
+    int count = 0;
+    int cells[27];
+    const int nc = grid.neighbor_cells(grid.cell_of(xi), cells);
+    for (int c = 0; c < nc; ++c) {
+      const int* it = grid.cell_begin(cells[c]);
+      const int* last = grid.cell_end(cells[c]);
+      for (; it != last; ++it) {
+        const int j = *it;
+        if (j <= i) continue;  // half list, stored on the lower index
+        mem.read_cell_entry(static_cast<std::uint64_t>(it - grid.cell_begin(0)));
+        if (!mi && !sys.movable(j)) continue;
+        if (sys.excluded(i, j)) continue;
+        mem.read_pos(j);
+        mem.compute(costs.nbr_candidate);
+        if (distance2(xi, pos[static_cast<std::size_t>(j)]) <= reach2) ++count;
+      }
+    }
+    nlist.set_count(i, count);
+    mem.compute(costs.nbr_count_store);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phases 3+4 (fused): per atom, optionally fill its (pre-counted, pre-sized)
+// CSR neighbor row from the linked cells, then compute Lennard-Jones forces
+// over the list.  Pair (i, j) is processed by the lower index i — the
+// paper's convention — with j's share written into this worker's private
+// buffer.
+//
+// The LJ loop has two forms selected by `tiled`.  The scalar form is the
+// paper's per-pair loop.  The tiled form gathers up to kLjTile accepted
+// neighbors' dr components and pair parameters into stack arrays, evaluates
+// r2 -> sr6 -> fscale across the tile in a branch-free lane loop the
+// compiler can vectorize *without* fast-math, then scatters forces and
+// accumulates pe in the original neighbor order.  Every lane computes the
+// same IEEE double expressions as the scalar form and the accumulators see
+// the same values in the same order, so the two forms are bit-identical —
+// a guarantee the test suite enforces.
+// ---------------------------------------------------------------------------
+inline constexpr int kLjTile = 8;
+
 template <typename Mem>
 void fused_neighbors_lj_chunk(const MolecularSystem& sys, const CellGrid& grid,
                               NeighborList& nlist, const LjTable& lj, const CostTable& costs,
                               bool rebuild, ForceBuffers& buf, int worker, int begin, int end,
-                              int stride, Mem& mem) {
+                              int stride, Mem& mem, bool tiled = false) {
   const auto& pos = sys.positions();
   const double reach2 = nlist.reach() * nlist.reach();
   const double cutoff2 = lj.cutoff2();
@@ -99,7 +155,7 @@ void fused_neighbors_lj_chunk(const MolecularSystem& sys, const CellGrid& grid,
     const bool mi = sys.movable(i);
 
     if (rebuild) {
-      nlist.clear_atom(i);
+      int k = 0;
       int cells[27];
       const int nc = grid.neighbor_cells(grid.cell_of(xi), cells);
       for (int c = 0; c < nc; ++c) {
@@ -118,10 +174,10 @@ void fused_neighbors_lj_chunk(const MolecularSystem& sys, const CellGrid& grid,
           mem.temps(costs.temps_nbr_candidate);
           mem.compute(costs.nbr_candidate);
           if (distance2(xi, pos[static_cast<std::size_t>(j)]) <= reach2) {
-            const int k = nlist.count(i);
             nlist.add_neighbor(i, j);
             mem.write_neighbor_entry(nlist.entry_index(i, k));
             mem.compute(costs.nbr_accept);
+            ++k;
           }
         }
       }
@@ -131,29 +187,93 @@ void fused_neighbors_lj_chunk(const MolecularSystem& sys, const CellGrid& grid,
     double pe = 0.0;
     const int* it = nlist.begin(i);
     const int* last = nlist.end(i);
-    for (int k = 0; it != last; ++it, ++k) {
-      const int j = *it;
-      mem.read_neighbor_entry(nlist.entry_index(i, k));
-      mem.read_pos(j);
-      mem.read_meta(j);
-      const Vec3 dr = xi - pos[static_cast<std::size_t>(j)];
-      const double r2 = dr.norm2();
-      if (r2 > cutoff2 || r2 <= 0.0) continue;
-      const int tj = sys.type_of(j);
-      const double eps = lj.epsilon(ti, tj);
-      if (eps == 0.0) continue;
-      const double sr2 = lj.sigma2(ti, tj) / r2;
-      const double sr6 = sr2 * sr2 * sr2;
-      const double sr12 = sr6 * sr6;
-      const double fscale = 24.0 * eps * (2.0 * sr12 - sr6) / r2;
-      const Vec3 f = dr * fscale;
-      fi += f;
-      buf.force(worker, j) -= f;
-      mem.write_private_force(worker, j);
-      pe += 4.0 * eps * (sr12 - sr6) - lj.shift(ti, tj);
-      mem.temps(costs.temps_lj_pair);
-      mem.compute(costs.lj_pair);
+
+    if (!tiled) {
+      for (int k = 0; it != last; ++it, ++k) {
+        const int j = *it;
+        mem.read_neighbor_entry(nlist.entry_index(i, k));
+        mem.read_pos(j);
+        mem.read_meta(j);
+        const Vec3 dr = xi - pos[static_cast<std::size_t>(j)];
+        const double r2 = dr.norm2();
+        if (r2 > cutoff2 || r2 <= 0.0) continue;
+        const int tj = sys.type_of(j);
+        const double eps = lj.epsilon(ti, tj);
+        if (eps == 0.0) continue;
+        const double sr2 = lj.sigma2(ti, tj) / r2;
+        const double sr6 = sr2 * sr2 * sr2;
+        const double sr12 = sr6 * sr6;
+        const double fscale = 24.0 * eps * (2.0 * sr12 - sr6) / r2;
+        const Vec3 f = dr * fscale;
+        fi += f;
+        buf.force(worker, j) -= f;
+        mem.write_private_force(worker, j);
+        pe += 4.0 * eps * (sr12 - sr6) - lj.shift(ti, tj);
+        mem.temps(costs.temps_lj_pair);
+        mem.compute(costs.lj_pair);
+      }
+    } else {
+      // Tile buffers: accepted pairs only, in list order.  dr is not
+      // buffered — the scatter recomputes xi - pos[j] (an identical IEEE
+      // expression on positions that cannot change mid-phase) from lines
+      // the gather just touched, which is cheaper than six extra stack
+      // arrays' worth of stores and reloads per tile.
+      int tj_[kLjTile];
+      double tr2[kLjTile];
+      double teps[kLjTile], tsig2[kLjTile], tshift[kLjTile];
+      double tfs[kLjTile], tpe[kLjTile];
+      int m = 0;
+
+      // `count` is kLjTile (a compile-time constant after inlining) at every
+      // full-tile flush, so the lane loop below gets a fixed trip count the
+      // vectorizer can unroll; only the final partial flush runs with a
+      // runtime bound.
+      auto flush = [&](const int count) {
+        // Lane loop: pure per-lane IEEE arithmetic, no branches, no
+        // cross-lane dependency — vectorizable as-is.
+        for (int t = 0; t < count; ++t) {
+          const double sr2 = tsig2[t] / tr2[t];
+          const double sr6 = sr2 * sr2 * sr2;
+          const double sr12 = sr6 * sr6;
+          tfs[t] = 24.0 * teps[t] * (2.0 * sr12 - sr6) / tr2[t];
+          tpe[t] = 4.0 * teps[t] * (sr12 - sr6) - tshift[t];
+        }
+        // Scatter/accumulate in original neighbor order: fi, the private
+        // buffer entries and pe receive exactly the scalar form's values in
+        // exactly the scalar form's order.
+        for (int t = 0; t < count; ++t) {
+          const Vec3 f = (xi - pos[static_cast<std::size_t>(tj_[t])]) * tfs[t];
+          fi += f;
+          buf.force(worker, tj_[t]) -= f;
+          mem.write_private_force(worker, tj_[t]);
+          pe += tpe[t];
+          mem.temps(costs.temps_lj_pair);
+          mem.compute(costs.lj_pair);
+        }
+        m = 0;
+      };
+
+      for (int k = 0; it != last; ++it, ++k) {
+        const int j = *it;
+        mem.read_neighbor_entry(nlist.entry_index(i, k));
+        mem.read_pos(j);
+        mem.read_meta(j);
+        const Vec3 dr = xi - pos[static_cast<std::size_t>(j)];
+        const double r2 = dr.norm2();
+        if (r2 > cutoff2 || r2 <= 0.0) continue;
+        const int tj = sys.type_of(j);
+        const double eps = lj.epsilon(ti, tj);
+        if (eps == 0.0) continue;
+        tj_[m] = j;
+        tr2[m] = r2;
+        teps[m] = eps;
+        tsig2[m] = lj.sigma2(ti, tj);
+        tshift[m] = lj.shift(ti, tj);
+        if (++m == kLjTile) flush(kLjTile);
+      }
+      flush(m);
     }
+
     buf.force(worker, i) += fi;
     buf.add_pe(worker, pe);
     mem.write_private_force(worker, i);

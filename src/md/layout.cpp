@@ -103,4 +103,21 @@ void HeapModel::reorder(const std::vector<int>& new_order) {
   }
 }
 
+void HeapModel::permute_objects(const std::vector<int>& new_order) {
+  require(new_order.size() == slot_.size(), "permutation size mismatch");
+  // Objects follow their atoms: index k now denotes the atom that was at
+  // new_order[k], so it inherits that atom's existing slot.
+  std::vector<std::uint32_t> moved(slot_.size());
+  for (std::size_t k = 0; k < new_order.size(); ++k) {
+    const int old = new_order[k];
+    require(old >= 0 && static_cast<std::uint64_t>(old) < n_atoms_, "bad permutation entry");
+    moved[k] = slot_[static_cast<std::size_t>(old)];
+  }
+  slot_ = std::move(moved);
+  if (config_.layout == Layout::ReorderedObjects) {
+    // The cooperative memory manager re-lays objects in traversal order.
+    for (std::uint32_t i = 0; i < slot_.size(); ++i) slot_[i] = i;
+  }
+}
+
 }  // namespace mwx::md

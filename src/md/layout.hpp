@@ -90,7 +90,21 @@ class HeapModel {
   // reordered").  Under ReorderedObjects the addresses really move.
   void reorder(const std::vector<int>& new_order);
 
+  // Companion to MolecularSystem::permute(): the engine has just moved atom
+  // data so index k holds what old index new_order[k] held.  Modelled objects
+  // follow their atoms — each keeps whatever address it already had — and
+  // then, where the layout permits (ReorderedObjects), the heap re-lays the
+  // objects contiguously in the new storage order.  Under JavaObjects the
+  // objects stay at their creation-order addresses, now *scattered* relative
+  // to the new index order: exactly what permuting a Java reference array
+  // does, and why the paper's packing attempt showed no effect.  PackedSoA is
+  // index-addressed, so the (physically moved) array elements are already
+  // contiguous in the new order.
+  void permute_objects(const std::vector<int>& new_order);
+
   [[nodiscard]] int n_atoms() const { return static_cast<int>(n_atoms_); }
+  // Allocation rank backing atom i's modelled address (tests/diagnostics).
+  [[nodiscard]] std::uint32_t slot_of(int i) const { return slot_[static_cast<std::size_t>(i)]; }
 
  private:
   [[nodiscard]] std::uint64_t field_addr(int i, int field) const;

@@ -1,0 +1,84 @@
+#include "md/morton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace mwx::md {
+
+namespace {
+
+// Spreads the low 21 bits of v so consecutive input bits land three apart
+// (the classic magic-mask dilation).
+std::uint64_t spread3(std::uint32_t v) {
+  std::uint64_t x = v & 0x1fffff;  // 21 bits per axis -> 63-bit key
+  x = (x | (x << 32)) & 0x001f00000000ffffull;
+  x = (x | (x << 16)) & 0x001f0000ff0000ffull;
+  x = (x | (x << 8)) & 0x100f00f00f00f00full;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ull;
+  x = (x | (x << 2)) & 0x1249249249249249ull;
+  return x;
+}
+
+int axis_cells(double extent, double cell_width) {
+  return std::max(1, static_cast<int>(std::floor(extent / cell_width)));
+}
+
+int quantize(double v, double lo, double inv_w, int n) {
+  int c = static_cast<int>((v - lo) * inv_w);
+  if (c < 0) c = 0;
+  if (c >= n) c = n - 1;
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t morton3(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+std::vector<int> morton_order(const std::vector<Vec3>& positions, const Vec3& lo,
+                              const Vec3& hi, double cell_width) {
+  require(cell_width > 0.0, "cell width must be positive");
+  const Vec3 ext = hi - lo;
+  const int nx = axis_cells(ext.x, cell_width);
+  const int ny = axis_cells(ext.y, cell_width);
+  const int nz = axis_cells(ext.z, cell_width);
+  const double inv_wx = static_cast<double>(nx) / ext.x;
+  const double inv_wy = static_cast<double>(ny) / ext.y;
+  const double inv_wz = static_cast<double>(nz) / ext.z;
+
+  const int n = static_cast<int>(positions.size());
+  std::vector<std::uint64_t> key(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Vec3& p = positions[static_cast<std::size_t>(i)];
+    key[static_cast<std::size_t>(i)] =
+        morton3(static_cast<std::uint32_t>(quantize(p.x, lo.x, inv_wx, nx)),
+                static_cast<std::uint32_t>(quantize(p.y, lo.y, inv_wy, ny)),
+                static_cast<std::uint32_t>(quantize(p.z, lo.z, inv_wz, nz)));
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  // Stable: equal keys (same cell) keep their current relative order, so the
+  // pass is idempotent on an already-ordered system and fully deterministic.
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return key[static_cast<std::size_t>(a)] < key[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<int> invert_permutation(const std::vector<int>& new_order) {
+  const int n = static_cast<int>(new_order.size());
+  std::vector<int> inverse(static_cast<std::size_t>(n), -1);
+  for (int k = 0; k < n; ++k) {
+    const int old = new_order[static_cast<std::size_t>(k)];
+    require(old >= 0 && old < n, "permutation entry out of range");
+    require(inverse[static_cast<std::size_t>(old)] == -1, "permutation entry repeated");
+    inverse[static_cast<std::size_t>(old)] = k;
+  }
+  return inverse;
+}
+
+}  // namespace mwx::md

@@ -1,19 +1,36 @@
 #include "md/neighbor_list.hpp"
 
+#include <algorithm>
+
 namespace mwx::md {
 
-NeighborList::NeighborList(int n_atoms, double cutoff, double skin, int capacity_per_atom)
-    : cutoff_(cutoff), skin_(skin), capacity_(capacity_per_atom) {
+NeighborList::NeighborList(int n_atoms, double cutoff, double skin)
+    : cutoff_(cutoff), skin_(skin) {
   require(n_atoms > 0, "neighbor list needs atoms");
   require(cutoff > 0.0 && skin >= 0.0, "cutoff/skin must be sane");
-  require(capacity_per_atom > 0, "capacity must be positive");
   counts_.assign(static_cast<std::size_t>(n_atoms), 0);
-  entries_.assign(static_cast<std::size_t>(n_atoms) * static_cast<std::size_t>(capacity_), 0);
+  cursor_.assign(static_cast<std::size_t>(n_atoms), 0);
+  offsets_.assign(static_cast<std::size_t>(n_atoms) + 1, 0);
 }
 
 void NeighborList::begin_rebuild(const std::vector<Vec3>& positions) {
   require(positions.size() == counts_.size(), "atom count changed");
   ref_pos_ = positions;
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void NeighborList::finalize_offsets() {
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    offsets_[i] = running;
+    running += static_cast<std::size_t>(counts_[i]);
+  }
+  offsets_[counts_.size()] = running;
+  total_ = running;
+  // Grow-only: steady-state rebuilds reuse the high-water allocation instead
+  // of churning the allocator every few steps.
+  if (entries_.size() < total_) entries_.resize(total_);
+  std::fill(cursor_.begin(), cursor_.end(), 0);
 }
 
 bool NeighborList::chunk_exceeds_skin(const std::vector<Vec3>& positions, int begin,

@@ -9,8 +9,22 @@
 // value") — measured as Euclidean displacement, since a diagonal drift closes
 // the skin gap just as surely as an axis-aligned one.
 //
-// Storage is fixed-capacity slots per atom so concurrent chunks can build
-// their atoms' lists independently (the fused phase 3+4 runs in parallel).
+// Storage is compacted CSR.  The original fixed-capacity design (384 slots
+// per atom, modelled on MW's int[n][cap] table) held ~40 live entries per
+// atom at the benchmark densities — >10x padding that both wasted footprint
+// and broke the phase-4 traversal into strided islands.  A rebuild now runs
+// a three-step protocol that concurrent chunks can execute without locks:
+//
+//   1. count   — each chunk scans its atoms' candidate cells and records the
+//                accepted-neighbor count via set_count(i, c);
+//   2. prefix  — finalize_offsets() (serial, O(n_atoms)) turns the counts
+//                into row offsets and sizes the entry array exactly;
+//   3. fill    — each chunk re-scans and appends via add_neighbor(i, j).
+//
+// Per-atom counts depend only on the snapshot of positions and the cell
+// contents, never on chunk boundaries, so the resulting offsets — and the
+// fill, which writes each row in the same cell-scan order the count used —
+// are byte-identical for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -23,44 +37,48 @@ namespace mwx::md {
 
 class NeighborList {
  public:
-  NeighborList(int n_atoms, double cutoff, double skin, int capacity_per_atom = 384);
+  NeighborList(int n_atoms, double cutoff, double skin);
 
   [[nodiscard]] double reach() const { return cutoff_ + skin_; }
   [[nodiscard]] double cutoff() const { return cutoff_; }
   [[nodiscard]] double skin() const { return skin_; }
-  [[nodiscard]] int capacity() const { return capacity_; }
   [[nodiscard]] int n_atoms() const { return static_cast<int>(counts_.size()); }
 
-  // --- Build ----------------------------------------------------------------
-  // Snapshots reference positions and clears all per-atom lists.  Chunks may
-  // then fill disjoint atoms concurrently via set_neighbors/add_neighbor.
+  // --- Build (count -> prefix -> fill) ---------------------------------------
+  // Snapshots reference positions and zeroes all row counts.  Chunks may then
+  // count disjoint atoms concurrently via set_count.
   void begin_rebuild(const std::vector<Vec3>& positions);
-  void clear_atom(int i) { counts_[static_cast<std::size_t>(i)] = 0; }
+  void set_count(int i, int c) {
+    MWX_ASSERT(c >= 0);
+    counts_[static_cast<std::size_t>(i)] = c;
+  }
+  // Serial barrier between count and fill: prefix-sums the counts into row
+  // offsets, sizes the entry array to the exact total, and resets the fill
+  // cursors.  total_entries() is finalized here — O(1) to read ever after.
+  void finalize_offsets();
   void add_neighbor(int i, int j) {
-    auto& cnt = counts_[static_cast<std::size_t>(i)];
-    require(cnt < capacity_, "neighbor capacity exceeded; raise capacity_per_atom");
-    entries_[static_cast<std::size_t>(i) * static_cast<std::size_t>(capacity_) +
-             static_cast<std::size_t>(cnt)] = j;
-    ++cnt;
+    auto& cur = cursor_[static_cast<std::size_t>(i)];
+    require(cur < counts_[static_cast<std::size_t>(i)],
+            "neighbor fill exceeded this atom's declared count");
+    entries_[offsets_[static_cast<std::size_t>(i)] + static_cast<std::size_t>(cur)] = j;
+    ++cur;
   }
   void end_rebuild() { ++rebuild_count_; }
 
   // --- Query ----------------------------------------------------------------
   [[nodiscard]] const int* begin(int i) const {
-    return entries_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(capacity_);
+    return entries_.data() + offsets_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] const int* end(int i) const { return begin(i) + count(i); }
   [[nodiscard]] int count(int i) const { return counts_[static_cast<std::size_t>(i)]; }
   // Global slot index of atom i's k-th neighbor entry (for the layout model).
+  // CSR rows are dense, so consecutive entries of consecutive atoms are
+  // consecutive slots — the linear stream the simulator now replays.
   [[nodiscard]] std::uint64_t entry_index(int i, int k) const {
-    return static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(capacity_) +
+    return static_cast<std::uint64_t>(offsets_[static_cast<std::size_t>(i)]) +
            static_cast<std::uint64_t>(k);
   }
-  [[nodiscard]] std::size_t total_entries() const {
-    std::size_t n = 0;
-    for (int c : counts_) n += static_cast<std::size_t>(c);
-    return n;
-  }
+  [[nodiscard]] std::size_t total_entries() const { return total_; }
 
   // True when some atom in [begin, end) has drifted more than skin/2 (by
   // Euclidean distance) since the last rebuild — the per-chunk validity
@@ -75,9 +93,11 @@ class NeighborList {
  private:
   double cutoff_;
   double skin_;
-  int capacity_;
   std::vector<int> counts_;
-  std::vector<int> entries_;  // n_atoms * capacity slots
+  std::vector<int> cursor_;          // per-row fill position (build only)
+  std::vector<std::size_t> offsets_;  // n_atoms + 1 row starts
+  std::vector<int> entries_;          // exactly total_ packed entries
+  std::size_t total_ = 0;
   std::vector<Vec3> ref_pos_;
   long long rebuild_count_ = 0;
 };

@@ -20,7 +20,12 @@ void save_scene(std::ostream& os, const MolecularSystem& sys) {
     os << "type " << ty.name << ' ' << ty.mass << ' ' << ty.lj_epsilon << ' ' << ty.lj_sigma
        << '\n';
   }
-  for (int i = 0; i < sys.n_atoms(); ++i) {
+  // Atoms are written in external-ID (creation) order and bonds reference
+  // external IDs, so a scene saved after any number of Morton reorders is
+  // byte-identical to the same scene saved before them.  load_scene assigns
+  // external ID == index, closing the round trip.
+  for (int ext = 0; ext < sys.n_atoms(); ++ext) {
+    const int i = sys.index_of_external(ext);
     const Vec3& p = sys.positions()[static_cast<std::size_t>(i)];
     const Vec3& v = sys.velocities()[static_cast<std::size_t>(i)];
     os << "atom " << sys.type_of(i) << ' ' << p.x << ' ' << p.y << ' ' << p.z << ' ' << v.x
@@ -28,15 +33,17 @@ void save_scene(std::ostream& os, const MolecularSystem& sys) {
        << '\n';
   }
   for (const RadialBond& b : sys.radial_bonds()) {
-    os << "rbond " << b.a << ' ' << b.b << ' ' << b.k << ' ' << b.r0 << '\n';
+    os << "rbond " << sys.external_id(b.a) << ' ' << sys.external_id(b.b) << ' ' << b.k << ' '
+       << b.r0 << '\n';
   }
   for (const AngularBond& b : sys.angular_bonds()) {
-    os << "abond " << b.a << ' ' << b.b << ' ' << b.c << ' ' << b.k << ' ' << b.theta0
-       << '\n';
+    os << "abond " << sys.external_id(b.a) << ' ' << sys.external_id(b.b) << ' '
+       << sys.external_id(b.c) << ' ' << b.k << ' ' << b.theta0 << '\n';
   }
   for (const TorsionBond& b : sys.torsion_bonds()) {
-    os << "tbond " << b.a << ' ' << b.b << ' ' << b.c << ' ' << b.d << ' ' << b.k << ' '
-       << b.n << ' ' << b.phi0 << '\n';
+    os << "tbond " << sys.external_id(b.a) << ' ' << sys.external_id(b.b) << ' '
+       << sys.external_id(b.c) << ' ' << sys.external_id(b.d) << ' ' << b.k << ' ' << b.n
+       << ' ' << b.phi0 << '\n';
   }
 }
 

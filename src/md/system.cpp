@@ -1,8 +1,23 @@
 #include "md/system.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mwx::md {
+
+namespace {
+
+// Reorders `v` so the result holds v[new_order[k]] at position k.
+template <typename T>
+void apply_order(std::vector<T>& v, const std::vector<int>& new_order) {
+  std::vector<T> next(v.size());
+  for (std::size_t k = 0; k < new_order.size(); ++k) {
+    next[k] = v[static_cast<std::size_t>(new_order[k])];
+  }
+  v = std::move(next);
+}
+
+}  // namespace
 
 int MolecularSystem::add_atom(int type, const Vec3& position, const Vec3& velocity,
                               double charge, bool movable) {
@@ -22,7 +37,61 @@ int MolecularSystem::add_atom(int type, const Vec3& position, const Vec3& veloci
   movable_.push_back(movable ? 1 : 0);
   if (charge != 0.0) charged_.push_back(i);
   if (movable) ++n_movable_;
+  ext_id_.push_back(i);
+  index_of_ext_.push_back(i);
   return i;
+}
+
+void MolecularSystem::permute(const std::vector<int>& new_order) {
+  const int n = n_atoms();
+  require(static_cast<int>(new_order.size()) == n, "permutation size mismatch");
+  // Build the inverse first — this also validates that new_order is a
+  // genuine permutation before anything is moved.
+  std::vector<int> inverse(static_cast<std::size_t>(n), -1);
+  for (int k = 0; k < n; ++k) {
+    const int old = new_order[static_cast<std::size_t>(k)];
+    require(old >= 0 && old < n, "permutation entry out of range");
+    require(inverse[static_cast<std::size_t>(old)] == -1, "permutation entry repeated");
+    inverse[static_cast<std::size_t>(old)] = k;
+  }
+
+  apply_order(pos_, new_order);
+  apply_order(vel_, new_order);
+  apply_order(acc_, new_order);
+  apply_order(mass_, new_order);
+  apply_order(inv_mass_, new_order);
+  apply_order(charge_, new_order);
+  apply_order(type_, new_order);
+  apply_order(movable_, new_order);
+  apply_order(ext_id_, new_order);
+  for (int i = 0; i < n; ++i) {
+    index_of_ext_[static_cast<std::size_t>(ext_id_[static_cast<std::size_t>(i)])] = i;
+  }
+
+  // The charged list must stay ascending — the Coulomb loop's triangular
+  // decomposition and its deterministic accumulation order depend on it.
+  for (int& c : charged_) c = inverse[static_cast<std::size_t>(c)];
+  std::sort(charged_.begin(), charged_.end());
+
+  for (RadialBond& b : radial_) {
+    b.a = inverse[static_cast<std::size_t>(b.a)];
+    b.b = inverse[static_cast<std::size_t>(b.b)];
+  }
+  for (AngularBond& b : angular_) {
+    b.a = inverse[static_cast<std::size_t>(b.a)];
+    b.b = inverse[static_cast<std::size_t>(b.b)];
+    b.c = inverse[static_cast<std::size_t>(b.c)];
+  }
+  for (TorsionBond& b : torsion_) {
+    b.a = inverse[static_cast<std::size_t>(b.a)];
+    b.b = inverse[static_cast<std::size_t>(b.b)];
+    b.c = inverse[static_cast<std::size_t>(b.c)];
+    b.d = inverse[static_cast<std::size_t>(b.d)];
+  }
+  // Exclusions key on raw index pairs; rebuild them from the (only) source
+  // of exclusions, the radial bond list.
+  exclusions_.clear();
+  for (const RadialBond& b : radial_) exclusions_.insert(pair_key(b.a, b.b));
 }
 
 void MolecularSystem::add_radial_bond(RadialBond b) {

@@ -61,6 +61,23 @@ class MolecularSystem {
   // Indices of charged atoms, ascending — the Coulomb loop's working list.
   [[nodiscard]] const std::vector<int>& charged_indices() const { return charged_; }
 
+  // --- Stable identity across reordering -------------------------------------
+  // Every atom keeps the external ID it was created with (its creation
+  // index), no matter how often permute() shuffles the storage order.  Scene
+  // I/O and observables that must survive a reorder address atoms by
+  // external ID; the hot loops keep using raw indices.
+  [[nodiscard]] int external_id(int i) const { return ext_id_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int index_of_external(int ext) const {
+    return index_of_ext_[static_cast<std::size_t>(ext)];
+  }
+
+  // Applies a storage-order permutation: new_order[k] = current index of the
+  // atom to be placed k-th.  All per-atom arrays move together, bond records
+  // and the charged list are remapped, and exclusions are rebuilt, so the
+  // physics is invariant — only the memory order (and thus every raw index)
+  // changes.  Throws if new_order is not a permutation of [0, n_atoms).
+  void permute(const std::vector<int>& new_order);
+
   [[nodiscard]] const std::vector<RadialBond>& radial_bonds() const { return radial_; }
   [[nodiscard]] const std::vector<AngularBond>& angular_bonds() const { return angular_; }
   [[nodiscard]] const std::vector<TorsionBond>& torsion_bonds() const { return torsion_; }
@@ -98,6 +115,8 @@ class MolecularSystem {
   std::vector<int> type_;
   std::vector<char> movable_;
   std::vector<int> charged_;
+  std::vector<int> ext_id_;        // ext_id_[index] = creation index
+  std::vector<int> index_of_ext_;  // inverse of ext_id_
   std::vector<RadialBond> radial_;
   std::vector<AngularBond> angular_;
   std::vector<TorsionBond> torsion_;

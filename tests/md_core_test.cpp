@@ -256,15 +256,18 @@ TEST(CellGridTest, OutOfBoxPositionsClampToEdgeCells) {
 TEST(NeighborListTest, Validation) {
   EXPECT_THROW(NeighborList(0, 2.0, 0.5), ContractError);
   EXPECT_THROW(NeighborList(10, -1.0, 0.5), ContractError);
-  NeighborList nl(10, 2.0, 0.5, 4);
-  EXPECT_EQ(nl.capacity(), 4);
+  NeighborList nl(10, 2.0, 0.5);
   EXPECT_DOUBLE_EQ(nl.reach(), 2.5);
+  EXPECT_EQ(nl.total_entries(), 0u);
 }
 
-TEST(NeighborListTest, CapacityOverflowThrows) {
-  NeighborList nl(4, 2.0, 0.5, 2);
+TEST(NeighborListTest, FillBeyondDeclaredCountThrows) {
+  // CSR rows are sized by the count pass; a fill that appends more than the
+  // declared count would overrun the next atom's row.
+  NeighborList nl(4, 2.0, 0.5);
   nl.begin_rebuild({{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}});
-  nl.clear_atom(0);
+  nl.set_count(0, 2);
+  nl.finalize_offsets();
   nl.add_neighbor(0, 1);
   nl.add_neighbor(0, 2);
   EXPECT_THROW(nl.add_neighbor(0, 3), ContractError);
@@ -308,11 +311,40 @@ TEST(NeighborListTest, NeverBuiltAlwaysInvalid) {
   EXPECT_FALSE(nl.ever_built());
 }
 
-TEST(NeighborListTest, EntryIndexIsSlotBased) {
-  NeighborList nl(3, 2.0, 0.5, 16);
+TEST(NeighborListTest, EntryIndexFollowsCsrOffsets) {
+  NeighborList nl(3, 2.0, 0.5);
+  nl.begin_rebuild({{0, 0, 0}, {0.5, 0, 0}, {1, 0, 0}});
+  nl.set_count(0, 2);
+  nl.set_count(1, 3);
+  nl.set_count(2, 1);
+  nl.finalize_offsets();
   EXPECT_EQ(nl.entry_index(0, 0), 0u);
-  EXPECT_EQ(nl.entry_index(1, 3), 19u);
-  EXPECT_EQ(nl.entry_index(2, 0), 32u);
+  EXPECT_EQ(nl.entry_index(0, 1), 1u);
+  EXPECT_EQ(nl.entry_index(1, 0), 2u);
+  EXPECT_EQ(nl.entry_index(1, 2), 4u);
+  EXPECT_EQ(nl.entry_index(2, 0), 5u);
+  EXPECT_EQ(nl.total_entries(), 6u);
+}
+
+TEST(NeighborListTest, TotalEntriesIsFinalizedDuringBuild) {
+  NeighborList nl(2, 2.0, 0.5);
+  nl.begin_rebuild({{0, 0, 0}, {1, 0, 0}});
+  nl.set_count(0, 1);
+  nl.set_count(1, 0);
+  nl.finalize_offsets();
+  nl.add_neighbor(0, 1);
+  nl.end_rebuild();
+  EXPECT_EQ(nl.total_entries(), 1u);
+  EXPECT_EQ(nl.count(0), 1);
+  EXPECT_EQ(*nl.begin(0), 1);
+  // A later, emptier rebuild shrinks the total (grow-only storage, exact
+  // accounting).
+  nl.begin_rebuild({{0, 0, 0}, {5, 5, 5}});
+  nl.set_count(0, 0);
+  nl.set_count(1, 0);
+  nl.finalize_offsets();
+  nl.end_rebuild();
+  EXPECT_EQ(nl.total_entries(), 0u);
 }
 
 }  // namespace

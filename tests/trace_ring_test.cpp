@@ -185,8 +185,9 @@ TEST(TraceRingTest, NativeEngineEmitsPhaseBracketsAndTasks) {
     }
   }
   // Five dispatched phases per step (predictor, check, fused forces, reduce,
-  // corrector), each bracketing at least one task per worker chain.
-  EXPECT_EQ(phases, 2 * 5);
+  // corrector) plus one CSR neighbor-count phase per rebuild step, each
+  // bracketing at least one task per worker chain.
+  EXPECT_EQ(phases, 2 * 5 + engine.rebuild_count());
   EXPECT_GT(tasks, phases);
 }
 
@@ -218,7 +219,7 @@ TEST(TraceRingTest, SimulatedBackendEmitsComparableTrace) {
     }
   }
   EXPECT_EQ(steps, 2);
-  EXPECT_EQ(phases, 2 * 5);
+  EXPECT_EQ(phases, 2 * 5 + engine.rebuild_count());
   EXPECT_GT(tasks, 0);
   // Simulated timestamps line up with the machine clock.
   EXPECT_NEAR(last_step_end, machine.now_seconds(), 1e-12);
