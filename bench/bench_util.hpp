@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "md/engine.hpp"
+#include "perf/pmu.hpp"
 #include "sim/machine.hpp"
 #include "topo/machine_spec.hpp"
 #include "workloads/workloads.hpp"
@@ -24,6 +25,11 @@ namespace mwx::bench {
 class JsonEmitter {
  public:
   explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+  // Counter provider behind the emitted numbers: "sim" (machine simulator,
+  // the default for the reproduction benches), "perf_event"/"fallback"
+  // (native PMU accumulator) or "mixed" when a bench joins backends.
+  void set_provider(std::string provider) { provider_ = std::move(provider); }
 
   void metric(const std::string& group, const std::string& key, double value) {
     std::ostringstream os;
@@ -39,7 +45,10 @@ class JsonEmitter {
   std::string write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
-    out << "{\n  \"bench\": \"" << escaped(name_) << "\"";
+    out << "{\n  \"bench\": \"" << escaped(name_) << "\",\n"
+        << "  \"schema_version\": " << perf::kArtifactSchemaVersion << ",\n"
+        << "  \"git_sha\": \"" << escaped(perf::build_git_sha()) << "\",\n"
+        << "  \"provider\": \"" << escaped(provider_) << "\"";
     for (const auto& [group, entries] : groups_) {
       out << ",\n  \"" << escaped(group) << "\": {";
       bool first = true;
@@ -74,6 +83,7 @@ class JsonEmitter {
   }
 
   std::string name_;
+  std::string provider_ = "sim";
   std::vector<std::pair<std::string, Entries>> groups_;
 };
 

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 50;
 
   std::cout << "Cache pollution by temporaries (Section V-B), Al-1000\n\n";
+  bench::JsonEmitter json("cache_pollution");
 
   // --- Live-heap census (VisualVM live-objects view stand-in) --------------
   {
@@ -59,6 +60,28 @@ int main(int argc, char** argv) {
     per_thread.print(std::cout,
                      "Per-thread attribution (the view VisualVM could not provide)");
     std::cout << '\n';
+
+    // Allocation totals next to the miss rates they cause: the run-report
+    // pipeline cites allocations/step alongside L2 behaviour.
+    long long total_allocs = 0;
+    for (const auto& report : engine.tracker().all_reports()) {
+      total_allocs += report.total_allocated;
+    }
+    const auto temp = engine.tracker().report(engine.temp_vec3_type());
+    const auto& c = machine.counters();
+    json.metric("alloc", "allocations_per_step",
+                static_cast<double>(total_allocs) / steps);
+    json.metric("alloc", "temp_vec3_per_step",
+                static_cast<double>(temp.total_allocated) / steps);
+    json.metric("alloc", "temp_vec3_peak_live_bytes",
+                static_cast<double>(temp.peak_live_bytes()));
+    json.metric("alloc", "temp_vec3_peak_heap_fraction",
+                peak_total > 0
+                    ? static_cast<double>(temp.peak_live_bytes()) / peak_total
+                    : 0.0);
+    json.metric("alloc", "l1_miss_rate", c.l1.miss_rate());
+    json.metric("alloc", "l2_miss_rate", c.l2.miss_rate());
+    json.metric("alloc", "dram_mb_per_step", c.dram_bytes(64) / 1e6 / steps);
   }
 
   // --- Ablation: Java-style temporaries vs in-place arithmetic --------------
@@ -66,6 +89,8 @@ int main(int argc, char** argv) {
                "GC pauses"});
   for (const auto temps : {md::TemporariesMode::JavaStyle, md::TemporariesMode::InPlace}) {
     double t1 = 0.0;
+    const std::string style =
+        temps == md::TemporariesMode::JavaStyle ? "java_temporaries" : "in_place";
     for (int threads : {1, 4}) {
       bench::RunOptions opt;
       opt.n_threads = threads;
@@ -78,10 +103,15 @@ int main(int argc, char** argv) {
                 Table::fixed(t1 / r.seconds, 2),
                 Table::fixed(r.counters.dram_bytes(64) / 1e6 / steps, 2),
                 static_cast<long long>(0));
+      const std::string key = style + "_" + std::to_string(threads) + "t";
+      json.metric("ablation", key + "_ms_per_step", r.seconds_per_step * 1e3);
+      json.metric("ablation", key + "_speedup", t1 / r.seconds);
+      json.metric("ablation", key + "_l2_miss_rate", r.counters.l2.miss_rate());
     }
   }
   table.print(std::cout, "Ablation: temporaries vs in-place force arithmetic");
   std::cout << "\n(the in-place variant removes the allocation churn the JVM imposed;\n"
                "its 4-thread speedup shows what Al-1000 could have reached)\n";
+  std::cout << "\nJSON written to " << json.write() << "\n";
   return 0;
 }

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   const int native_steps = argc > 3 ? std::atoi(argv[3]) : 60;
 
   bench::JsonEmitter json("locality");
+  json.set_provider("mixed");  // part A is simulated, part B native wall clock
 
   std::cout << "Part A: simulated miss rates, Al-1000, 4 threads, Morton pass off/on\n\n";
   for (const topo::MachineSpec& spec : topo::table2_machines()) {

@@ -26,6 +26,11 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 assert doc["bench"] == "locality", doc.get("bench")
+# Artifact identity header (schema v2): every BENCH_*.json emitter carries it.
+assert doc.get("schema_version") == 2, f"schema_version: {doc.get('schema_version')}"
+assert doc.get("git_sha"), "git_sha missing or empty"
+assert doc.get("provider") in ("sim", "perf_event", "fallback", "mixed"), \
+    f"provider: {doc.get('provider')}"
 sim_groups = [k for k in doc if k.startswith("sim.")]
 assert len(sim_groups) >= 3, f"expected >=3 sim.* machine groups, got {sim_groups}"
 for g in sim_groups:
@@ -42,6 +47,40 @@ for k in ("ns_per_pair_seed", "ns_per_pair_locality", "speedup_locality_vs_seed"
 print("BENCH_locality.json OK:", len(sim_groups), "machine groups + native")
 EOF
 rm -rf "${smoke_dir}"
+
+echo "== counters smoke: PMU conservation + run report =="
+# The observability gate: run a short Al-1000 workload through both backends,
+# assert the conservation law (per-phase/per-core counter domains must tile
+# the machine-global aggregates — mwx_run --check exits nonzero otherwise),
+# and exercise the mwx-report joiner end to end.  The native provider is
+# allowed to be the labelled "fallback" (perf_event_open is commonly denied
+# in containers); only an *unlabelled* or missing provider fails.
+cmake --build --preset default --parallel "${jobs}" --target mwx_run
+counters_dir=$(mktemp -d)
+(cd "${counters_dir}" && "${repo_root}/build/tools/mwx_run" Al-1000 200 4 --name ci --check)
+python3 "${repo_root}/tools/mwx-report" --dir "${counters_dir}" --name ci
+python3 - "${counters_dir}" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+with open(os.path.join(d, "REPORT_ci.json")) as f:
+    report = json.load(f)
+assert report["schema_version"] == 2
+assert report["conservation_ok"] is True, "conservation re-verification failed"
+assert report["conservation"]["checked"], "conservation was not actually checked"
+assert len(report["conservation"]["fields"]) >= 15, "too few fields checked"
+native = report["providers"]["native"]
+if native == "perf_event":
+    print("native provider: perf_event (real hardware counters)")
+elif native == "fallback":
+    print("native provider: fallback (perf_event denied — acceptable, not a failure)")
+else:
+    raise AssertionError(f"unlabelled native provider: {native}")
+md = open(os.path.join(d, "REPORT_ci.md")).read()
+assert "Per-phase memory behaviour" in md and "Conservation" in md
+assert len(md) > 500, "markdown report suspiciously small"
+print("REPORT_ci OK: conservation holds,", len(report["summary"]), "summary metrics")
+EOF
+rm -rf "${counters_dir}"
 
 echo "== tsan: concurrency suites (tsan preset) =="
 cmake --preset tsan

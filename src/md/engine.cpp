@@ -255,6 +255,9 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
     if (chain.empty()) continue;
     auto body = [this, &latch, chain, slot, tag] {
       const int worker = std::max(0, parallel::FixedThreadPool::current_worker());
+      // Phase bracket: one counter-read pair per chain (a chain runs
+      // unbroken on one worker), charged to (worker, phase tag).
+      if (native_pmu_ != nullptr) native_pmu_->task_begin();
       NullMem mem;
       for (const TaskDesc& t : chain) {
         const double t0 = native_clock_.elapsed_seconds();
@@ -278,6 +281,9 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
             native_monitor_->add("phase." + std::to_string(tag), t1 - t0);
           }
         }
+      }
+      if (native_pmu_ != nullptr) {
+        native_pmu_->task_end(worker, tag, static_cast<double>(chain.size()));
       }
       latch.count_down();
     };

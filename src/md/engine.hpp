@@ -40,6 +40,7 @@
 #include "perf/alloc_tracker.hpp"
 #include "perf/event_log.hpp"
 #include "perf/monitor.hpp"
+#include "perf/native_pmu.hpp"
 #include "perf/scoped_timer.hpp"
 #include "perf/trace_ring.hpp"
 #include "sim/machine.hpp"
@@ -159,6 +160,19 @@ class Engine {
             "trace ring needs a lane per worker plus one external lane");
     native_trace_ = trace;
   }
+  // Native hardware-counter provider: each task chain is bracketed with
+  // per-thread counter reads and the delta charged to (worker, phase tag) —
+  // the native twin of the simulator's per-core per-phase attribution.
+  // Counter reads happen strictly outside run_task(), so attaching a PMU
+  // cannot perturb the physics (energies stay bit-identical).  Attach either
+  // here or at the pool (FixedThreadPool::attach_pmu), not both with the
+  // same accumulator: the pool's untagged brackets would double-count the
+  // engine's phase-tagged ones.
+  void attach_pmu(perf::PmuAccumulator* pmu) {
+    require(pmu == nullptr || pmu->n_workers() >= config_.n_threads,
+            "PMU accumulator needs a lane per worker");
+    native_pmu_ = pmu;
+  }
 
  private:
   enum class Kind { Predictor, Check, NeighborCount, FusedLj, Coulomb, RadialBonds,
@@ -212,6 +226,7 @@ class Engine {
   perf::JamonMonitor* native_monitor_ = nullptr;
   perf::EventLog* native_log_ = nullptr;
   perf::TraceRing* native_trace_ = nullptr;
+  perf::PmuAccumulator* native_pmu_ = nullptr;
   perf::StopWatch native_clock_;
 };
 

@@ -80,6 +80,7 @@ void FixedThreadPool::enqueue(int worker, Task task) {
 
 void FixedThreadPool::run_one(Task task) {
   const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+  if (pmu_ != nullptr) pmu_->task_begin();
   try {
     task();
   } catch (...) {
@@ -92,6 +93,7 @@ void FixedThreadPool::run_one(Task task) {
     trace_->record(t_worker_index, perf::TraceKind::Task, /*tag=*/0, trace_begin,
                    trace_->now());
   }
+  if (pmu_ != nullptr) pmu_->task_end(t_worker_index, /*phase_tag=*/0);
   completed_.fetch_add(1, std::memory_order_release);
   // Lock-then-notify so a quiescing thread between its predicate check and
   // wait() cannot miss the wakeup.

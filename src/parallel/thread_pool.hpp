@@ -32,6 +32,7 @@
 #include "parallel/latch.hpp"
 #include "parallel/steal_deque.hpp"
 #include "parallel/task_queue.hpp"
+#include "perf/native_pmu.hpp"
 #include "perf/trace_ring.hpp"
 #include "topo/cpuset.hpp"
 
@@ -119,6 +120,19 @@ class FixedThreadPool {
     trace_ = trace;
   }
 
+  // Attaches a hardware-counter accumulator: every executed task is bracketed
+  // with per-thread counter reads and the delta charged to (worker, tag 0) —
+  // untagged pool work.  Needs one lane per worker.  For phase-tagged
+  // attribution attach the accumulator at the engine instead
+  // (Engine::attach_pmu); never both with the same accumulator, or the pool's
+  // untagged brackets double-count the engine's phase-tagged ones.  Attach
+  // before submitting work; detach (nullptr) only after quiesce().
+  void attach_pmu(perf::PmuAccumulator* pmu) {
+    require(pmu == nullptr || pmu->n_workers() >= config_.n_threads,
+            "PMU accumulator needs a lane per worker");
+    pmu_ = pmu;
+  }
+
  private:
   void worker_main(int index);
   void worker_main_stealing(int index);
@@ -149,6 +163,7 @@ class FixedThreadPool {
   std::atomic<bool> shutdown_{false};
   std::mutex shutdown_mutex_;
   perf::TraceRing* trace_ = nullptr;
+  perf::PmuAccumulator* pmu_ = nullptr;
 };
 
 }  // namespace mwx::parallel

@@ -1,0 +1,176 @@
+#include "perf/native_pmu.hpp"
+
+#include <cstring>
+#include <ctime>
+
+#include "common/require.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mwx::perf {
+
+namespace {
+
+#if defined(__linux__)
+int open_hw_counter(std::uint64_t hw_config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = hw_config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // lowest-privilege request that paranoid=2 allows
+  attr.exclude_hv = 1;
+  attr.inherit = 0;
+  // pid=0, cpu=-1: this thread, wherever it runs — the per-thread scope the
+  // engine's phase brackets need.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, PERF_FLAG_FD_CLOEXEC));
+}
+#endif
+
+double thread_cpu_nanos() {
+#if defined(__linux__)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e9 + static_cast<double>(ts.tv_nsec);
+  }
+#endif
+  return 0.0;
+}
+
+double thread_soft_faults() {
+#if defined(__linux__) && defined(RUSAGE_THREAD)
+  rusage ru{};
+  if (getrusage(RUSAGE_THREAD, &ru) == 0) return static_cast<double>(ru.ru_minflt);
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+ThreadPmu::ThreadPmu() {
+#if defined(__linux__)
+  static constexpr std::uint64_t kConfigs[4] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES};
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    fds_[i] = open_hw_counter(kConfigs[i]);
+  }
+  // The cycle counter decides the provider label: without it the "hardware"
+  // view is too hollow to be called perf_event.  Partial failures of the
+  // other three (VMs without cache events) keep whatever did open.
+  hardware_ = fds_[0] >= 0;
+  if (!hardware_) {
+    for (int& fd : fds_) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+  }
+#endif
+}
+
+ThreadPmu::~ThreadPmu() {
+#if defined(__linux__)
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+CounterSet ThreadPmu::read() const {
+  CounterSet c;
+#if defined(__linux__)
+  static constexpr Counter kSlots[4] = {Counter::kCycles, Counter::kInstructions,
+                                        Counter::kCacheReferences, Counter::kCacheMisses};
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    if (fds_[i] < 0) continue;
+    std::uint64_t value = 0;
+    if (::read(fds_[i], &value, sizeof(value)) == sizeof(value)) {
+      c[kSlots[i]] = static_cast<double>(value);
+    }
+  }
+#endif
+  c[Counter::kCpuNanos] = thread_cpu_nanos();
+  c[Counter::kSoftPageFaults] = thread_soft_faults();
+  return c;
+}
+
+ThreadPmu& ThreadPmu::calling_thread() {
+  thread_local ThreadPmu session;
+  return session;
+}
+
+PmuAccumulator::PmuAccumulator(int n_workers) {
+  require(n_workers > 0, "accumulator needs at least one worker lane");
+  lanes_.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) lanes_.push_back(std::make_unique<Lane>());
+}
+
+namespace {
+// The open window of the calling thread.  One per thread is enough: brackets
+// never nest (a worker runs one chain at a time), and a thread feeds at most
+// one accumulator per window.
+thread_local CounterSet tls_window_begin;
+}  // namespace
+
+void PmuAccumulator::task_begin() { tls_window_begin = ThreadPmu::calling_thread().read(); }
+
+void PmuAccumulator::task_end(int worker, int phase_tag, double tasks) {
+  require(worker >= 0 && worker < n_workers(), "worker lane out of range");
+  ThreadPmu& session = ThreadPmu::calling_thread();
+  CounterSet delta = session.read() - tls_window_begin;
+  delta[Counter::kTasks] = tasks;
+  // Busy time in cycles when hardware gives it, else derived from CPU time
+  // so the imbalance view works under the fallback too.
+  delta[Counter::kBusyCycles] =
+      session.hardware() ? delta[Counter::kCycles] : delta[Counter::kCpuNanos];
+  Lane& lane = *lanes_[static_cast<std::size_t>(worker)];
+  const int slot = phase_tag < 0 ? 0 : (phase_tag < kMaxPhaseTag ? phase_tag : kMaxPhaseTag - 1);
+  lane.by_phase[static_cast<std::size_t>(slot)] += delta;
+  lane.hardware = lane.touched ? (lane.hardware && session.hardware()) : session.hardware();
+  lane.touched = true;
+}
+
+std::string PmuAccumulator::provider() const {
+  bool any = false;
+  for (const auto& lane : lanes_) {
+    if (!lane->touched) continue;
+    if (!lane->hardware) return "fallback";
+    any = true;
+  }
+  return any ? "perf_event" : "fallback";
+}
+
+PmuReport PmuAccumulator::report() const {
+  PmuReport r;
+  r.provider = provider();
+  r.lane_kind = "worker";
+  r.n_lanes = n_workers();
+  for (int phase = 0; phase < kMaxPhaseTag; ++phase) {
+    bool phase_touched = false;
+    for (const auto& lane : lanes_) {
+      if (!lane->by_phase[static_cast<std::size_t>(phase)].all_zero()) {
+        phase_touched = true;
+        break;
+      }
+    }
+    if (!phase_touched) continue;
+    for (int w = 0; w < n_workers(); ++w) {
+      r.at(phase, w) = lanes_[static_cast<std::size_t>(w)]
+                           ->by_phase[static_cast<std::size_t>(phase)];
+    }
+  }
+  return r;
+}
+
+void PmuAccumulator::reset() {
+  for (auto& lane : lanes_) *lane = Lane{};
+}
+
+}  // namespace mwx::perf

@@ -1,0 +1,98 @@
+// Native hardware-counter provider (perf_event_open) with a labelled
+// software fallback.
+//
+// The paper read cycles, instructions and cache miss counts out of VTune's
+// PMU drivers.  On a stock Linux box the same numbers come from
+// perf_event_open(2) scoped to one thread; inside unprivileged containers
+// the syscall is commonly denied (perf_event_paranoid, seccomp), so this
+// provider degrades to CLOCK_THREAD_CPUTIME_ID + rusage(RUSAGE_THREAD) and
+// reports itself as provider "fallback" — measurements are never silently
+// fabricated, only relabelled.
+//
+// Usage shape (mirrors the sim provider's phase attribution):
+//   * each worker thread owns one ThreadPmu session (lazily opened,
+//     thread_local via ThreadPmu::calling_thread());
+//   * PmuAccumulator::task_begin()/task_end(worker, phase) bracket a chain of
+//     work on the calling worker and accumulate the counter delta into the
+//     (worker, phase) domain — exactly the per-core/per-phase view the sim
+//     backend produces, with worker threads standing in for cores.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perf/pmu.hpp"
+
+namespace mwx::perf {
+
+// One thread's counter session.  Construct (or first use) on the thread to
+// be measured; read() reports cumulative values since construction.
+class ThreadPmu {
+ public:
+  ThreadPmu();
+  ~ThreadPmu();
+
+  ThreadPmu(const ThreadPmu&) = delete;
+  ThreadPmu& operator=(const ThreadPmu&) = delete;
+
+  // True when at least the cycle counter is a real perf_event fd.
+  [[nodiscard]] bool hardware() const { return hardware_; }
+
+  // Cumulative counters for the owning thread.  Hardware fields are filled
+  // only when hardware(); kCpuNanos/kSoftPageFaults are always filled so the
+  // fallback path is exercised (and testable) everywhere.
+  [[nodiscard]] CounterSet read() const;
+
+  // The calling thread's session, opened on first use.
+  static ThreadPmu& calling_thread();
+
+ private:
+  // fd order: cycles, instructions, cache-references, cache-misses.
+  std::array<int, 4> fds_{{-1, -1, -1, -1}};
+  bool hardware_ = false;
+};
+
+// Per-worker, per-phase counter accumulation for the native backend.  Each
+// worker writes only its own lane (no synchronization on the hot path);
+// report()/provider() must run after the traced pool has quiesced.
+class PmuAccumulator {
+ public:
+  // Engine/pool phase tags must lie in [0, kMaxPhaseTag); larger tags fold
+  // into the last slot rather than being dropped.
+  static constexpr int kMaxPhaseTag = 32;
+
+  explicit PmuAccumulator(int n_workers);
+
+  PmuAccumulator(const PmuAccumulator&) = delete;
+  PmuAccumulator& operator=(const PmuAccumulator&) = delete;
+
+  [[nodiscard]] int n_workers() const { return static_cast<int>(lanes_.size()); }
+
+  // Snapshot the calling thread's counters as the start of a work window.
+  void task_begin();
+  // Close the window opened by the matching task_begin() on this thread and
+  // charge the delta (plus `tasks` executed units) to (worker, phase_tag).
+  void task_end(int worker, int phase_tag, double tasks = 1.0);
+
+  // "perf_event" when every touched lane read hardware counters,
+  // "fallback" otherwise (including when nothing ran).
+  [[nodiscard]] std::string provider() const;
+
+  [[nodiscard]] PmuReport report() const;
+
+  // Not safe against concurrent task_begin/task_end — quiesce first.
+  void reset();
+
+ private:
+  struct alignas(64) Lane {
+    std::array<CounterSet, kMaxPhaseTag> by_phase{};
+    bool touched = false;
+    bool hardware = false;
+  };
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace mwx::perf

@@ -138,6 +138,7 @@ double Machine::place_thread(int tid, double now) {
 
   if (ts.last_pu >= 0 && chosen != ts.last_pu) {
     ++counters_.migrations;
+    ++dom(chosen).migrations;
     now += config_.cost.migration_cycles;
   }
   ts.pu = chosen;
@@ -194,25 +195,50 @@ double Machine::consume_noise(int tid, double now) {
       core = spec.pu_to_core(alternative);
       ++occupancy_[static_cast<std::size_t>(core)];
       ++counters_.migrations;
+      ++dom(alternative).migrations;
       now += config_.cost.migration_cycles;
     } else {
       // No free core to flee to: the thread timeshares the core with the
       // interloper for the burst instead of losing it outright.
       const double stall = 0.5 * burst;
       counters_.noise_stall_cycles += stall;
+      dom(ts.pu).noise_stall_cycles += stall;
       now += stall;
     }
   }
   return now;
 }
 
+namespace {
+// The per-domain mirror of a level's CacheStats; levels beyond 3 have no
+// counter slot (the machine-global view folds exactly levels 1-3 too).
+CacheStats* level_stats(MachineCounters& c, int level) {
+  if (level == 1) return &c.l1;
+  if (level == 2) return &c.l2;
+  if (level == 3) return &c.l3;
+  return nullptr;
+}
+}  // namespace
+
 double Machine::charge_access(int pu, const Access& a, double t) {
   double cost = 0.0;
+  MachineCounters& d = dom(pu);
   for (std::size_t li = 0; li < levels_.size(); ++li) {
     Level& lvl = levels_[li];
     const int inst = pu / lvl.spec.pus_per_instance;
     SetAssocCache& cache = lvl.instances[static_cast<std::size_t>(inst)];
     const auto r = cache.access(a.addr, a.write);
+    // Mirror this lookup's stat increments into the (phase, core) domain —
+    // the machine-global l1/l2/l3 views aggregate the cache instances
+    // directly, so the mirror is what makes per-domain sums conserve them.
+    if (CacheStats* ls = level_stats(d, lvl.spec.level)) {
+      if (r.hit) {
+        ++ls->hits;
+      } else {
+        ++ls->misses;
+        if (r.evicted_dirty) ++ls->dirty_evictions;
+      }
+    }
     cost += lvl.spec.hit_latency_cycles;
     const bool last_level = li + 1 == levels_.size();
     if (a.write && lvl.instances.size() > 1) {
@@ -236,6 +262,7 @@ double Machine::charge_access(int pu, const Access& a, double t) {
       controller_free_[static_cast<std::size_t>(pkg)] =
           std::max(controller_free_[static_cast<std::size_t>(pkg)], t) + transfer;
       ++counters_.dram_writebacks;
+      ++d.dram_writebacks;
     }
     if (r.hit) return cost;
   }
@@ -255,6 +282,8 @@ double Machine::charge_access(int pu, const Access& a, double t) {
   free_at = start + transfer;
   ++counters_.dram_line_fetches;
   counters_.dram_queue_cycles += queue_delay;
+  ++d.dram_line_fetches;
+  d.dram_queue_cycles += queue_delay;
   // The data transfer itself overlaps with the access latency for the
   // requesting thread; only the overlapped latency and any queueing behind
   // earlier transfers stall it.
@@ -267,6 +296,15 @@ double Machine::charge_access(int pu, const Access& a, double t) {
 PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) {
   const int n = config_.n_threads;
   const double phase_start = global_cycles_;
+
+  // Per-core attribution row for this phase tag.  Repeated phases with the
+  // same tag (one per timestep) accumulate into the same row; map nodes are
+  // stable, so the hot-path pointer survives later insertions.
+  auto& phase_row = phase_core_[work.tag];
+  if (phase_row.empty()) {
+    phase_row.resize(static_cast<std::size_t>(config_.spec.n_cores()));
+  }
+  cur_phase_ = &phase_row;
 
   // --- Dispatch: the master pushes tasks into the queue(s). Task i becomes
   // available once pushed, which staggers thread start times (launch skew,
@@ -355,13 +393,16 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
             auto& victim = ws_queues[static_cast<std::size_t>((tid + k) % n)];
             t += config_.cost.steal_probe_cycles;
             counters_.steal_overhead_cycles += config_.cost.steal_probe_cycles;
+            dom(ts.pu).steal_overhead_cycles += config_.cost.steal_probe_cycles;
             if (!victim.empty()) {
               idx = victim.front();
               victim.pop_front();
               got = true;
               ++counters_.steals;
+              ++dom(ts.pu).steals;
               t += config_.cost.steal_cycles;
               counters_.steal_overhead_cycles += config_.cost.steal_cycles;
+              dom(ts.pu).steal_overhead_cycles += config_.cost.steal_cycles;
               t = std::max(t, available[idx]);
               if (config_.trace != nullptr) {
                 config_.trace->record(tid, perf::TraceKind::Steal, work.tag, to_seconds(t),
@@ -375,6 +416,7 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
         if (shared_next < work.tasks.size()) {
           const double lock_start = std::max(t, shared_queue_free);
           counters_.queue_wait_cycles += lock_start - t;
+          dom(ts.pu).queue_wait_cycles += lock_start - t;
           shared_queue_free = lock_start + config_.cost.queue_pop_cycles;
           idx = static_cast<std::uint32_t>(shared_next++);
           got = true;
@@ -432,6 +474,7 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
     for (int m = 0; m < task.monitor_updates; ++m) {
       const double lock_start = std::max(t, monitor_lock_free_);
       counters_.monitor_wait_cycles += lock_start - t;
+      dom(ts.pu).monitor_wait_cycles += lock_start - t;
       monitor_lock_free_ = lock_start + config_.cost.monitor_lock_hold_cycles;
       t = lock_start + config_.cost.monitor_lock_hold_cycles;
     }
@@ -459,6 +502,9 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
   for (int tid = 0; tid < n; ++tid) {
     ThreadState& ts = threads_[static_cast<std::size_t>(tid)];
     counters_.barrier_wait_cycles += release - arrival[static_cast<std::size_t>(tid)];
+    // The thread is parked at the barrier; charge the wait to the core it
+    // arrived from (park_thread recorded it as last_pu).
+    dom(ts.last_pu).barrier_wait_cycles += release - arrival[static_cast<std::size_t>(tid)];
     ts.time = release;
     result.busy_seconds[static_cast<std::size_t>(tid)] = to_seconds(ts.busy_cycles);
     result.arrival_seconds[static_cast<std::size_t>(tid)] =
@@ -471,6 +517,7 @@ PhaseResult Machine::run_phase(const PhaseWork& work, int instr_calls_per_task) 
                           result.begin_seconds, result.end_seconds,
                           static_cast<int>(work.tasks.size()));
   }
+  cur_phase_ = nullptr;
   return result;
 }
 
@@ -480,10 +527,16 @@ void Machine::run_serial(double compute_cycles) {
 }
 
 void Machine::reset_counters() {
+  // Clears the machine-global aggregate, every per-instance CacheStats (all
+  // L1/L2/L3 domains — the lazily-folded counters() view reads them, so a
+  // survivor would resurrect in the next snapshot), and the per-phase
+  // per-core attribution matrix.
   counters_ = {};
   for (auto& lvl : levels_) {
     for (auto& c : lvl.instances) c.reset_stats();
   }
+  phase_core_.clear();
+  cur_phase_ = nullptr;
 }
 
 namespace {
@@ -506,6 +559,91 @@ const MachineCounters& Machine::counters() const {
     if (lvl.spec.level == 3) self->counters_.l3 = aggregate(lvl.instances);
   }
   return counters_;
+}
+
+std::vector<int> Machine::counter_phases() const {
+  std::vector<int> out;
+  out.reserve(phase_core_.size());
+  for (const auto& [tag, row] : phase_core_) out.push_back(tag);
+  return out;
+}
+
+MachineCounters Machine::phase_core_counters(int phase_tag, int core) const {
+  require(core >= 0 && core < config_.spec.n_cores(), "core index out of range");
+  const auto it = phase_core_.find(phase_tag);
+  if (it == phase_core_.end()) return {};
+  return it->second[static_cast<std::size_t>(core)];
+}
+
+MachineCounters Machine::phase_counters(int phase_tag) const {
+  MachineCounters sum;
+  const auto it = phase_core_.find(phase_tag);
+  if (it == phase_core_.end()) return sum;
+  for (const auto& cell : it->second) sum += cell;
+  return sum;
+}
+
+MachineCounters Machine::core_counters(int core) const {
+  require(core >= 0 && core < config_.spec.n_cores(), "core index out of range");
+  MachineCounters sum;
+  for (const auto& [tag, row] : phase_core_) sum += row[static_cast<std::size_t>(core)];
+  return sum;
+}
+
+perf::CounterSet to_counter_set(const MachineCounters& m) {
+  using perf::Counter;
+  perf::CounterSet c;
+  c[Counter::kL1Hits] = static_cast<double>(m.l1.hits);
+  c[Counter::kL1Misses] = static_cast<double>(m.l1.misses);
+  c[Counter::kL1DirtyEvictions] = static_cast<double>(m.l1.dirty_evictions);
+  c[Counter::kL2Hits] = static_cast<double>(m.l2.hits);
+  c[Counter::kL2Misses] = static_cast<double>(m.l2.misses);
+  c[Counter::kL2DirtyEvictions] = static_cast<double>(m.l2.dirty_evictions);
+  c[Counter::kL3Hits] = static_cast<double>(m.l3.hits);
+  c[Counter::kL3Misses] = static_cast<double>(m.l3.misses);
+  c[Counter::kL3DirtyEvictions] = static_cast<double>(m.l3.dirty_evictions);
+  // The VTune-style generic pair maps to the last-level view, so sim and
+  // native reports render on the same Table II columns.
+  c[Counter::kCacheReferences] = static_cast<double>(m.l3.accesses());
+  c[Counter::kCacheMisses] = static_cast<double>(m.l3.misses);
+  c[Counter::kDramLineFetches] = static_cast<double>(m.dram_line_fetches);
+  c[Counter::kDramWritebacks] = static_cast<double>(m.dram_writebacks);
+  c[Counter::kDramQueueCycles] = m.dram_queue_cycles;
+  c[Counter::kMigrations] = static_cast<double>(m.migrations);
+  c[Counter::kSteals] = static_cast<double>(m.steals);
+  c[Counter::kStealOverheadCycles] = m.steal_overhead_cycles;
+  c[Counter::kNoiseStallCycles] = m.noise_stall_cycles;
+  c[Counter::kQueueWaitCycles] = m.queue_wait_cycles;
+  c[Counter::kMonitorWaitCycles] = m.monitor_wait_cycles;
+  c[Counter::kBarrierWaitCycles] = m.barrier_wait_cycles;
+  return c;
+}
+
+perf::PmuReport Machine::pmu_report() const {
+  perf::PmuReport r;
+  r.provider = "sim";
+  r.lane_kind = "core";
+  r.n_lanes = config_.spec.n_cores();
+  for (const auto& [tag, row] : phase_core_) {
+    for (int core = 0; core < r.n_lanes; ++core) {
+      r.at(tag, core) = to_counter_set(row[static_cast<std::size_t>(core)]);
+    }
+  }
+  // Ground-truth busy time and task counts come from the event log (which
+  // records the executing core per task).  Note the log spans the machine's
+  // whole lifetime: it is not windowed by reset_counters().
+  if (config_.record_events) {
+    const double hz = config_.spec.ghz * 1e9;
+    for (int th = 0; th < event_log_.n_threads(); ++th) {
+      for (const auto& e : event_log_.events_of(th)) {
+        if (e.core < 0 || e.core >= r.n_lanes) continue;
+        perf::CounterSet& cell = r.at(e.tag, e.core);
+        cell[perf::Counter::kBusyCycles] += (e.end - e.begin) * hz;
+        cell[perf::Counter::kTasks] += 1.0;
+      }
+    }
+  }
+  return r;
 }
 
 }  // namespace mwx::sim

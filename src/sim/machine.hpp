@@ -14,11 +14,13 @@
 // of the counters, the event log and the core-residency timeline.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "perf/event_log.hpp"
+#include "perf/pmu.hpp"
 #include "perf/trace_ring.hpp"
 #include "sim/access.hpp"
 #include "sim/cache.hpp"
@@ -44,7 +46,30 @@ struct MachineCounters {
   [[nodiscard]] double dram_bytes(int line_bytes) const {
     return static_cast<double>(dram_line_fetches + dram_writebacks) * line_bytes;
   }
+
+  MachineCounters& operator+=(const MachineCounters& o) {
+    l1 += o.l1;
+    l2 += o.l2;
+    l3 += o.l3;
+    dram_line_fetches += o.dram_line_fetches;
+    dram_writebacks += o.dram_writebacks;
+    dram_queue_cycles += o.dram_queue_cycles;
+    migrations += o.migrations;
+    steals += o.steals;
+    steal_overhead_cycles += o.steal_overhead_cycles;
+    noise_stall_cycles += o.noise_stall_cycles;
+    queue_wait_cycles += o.queue_wait_cycles;
+    monitor_wait_cycles += o.monitor_wait_cycles;
+    barrier_wait_cycles += o.barrier_wait_cycles;
+    return *this;
+  }
 };
+
+// Maps a MachineCounters bundle onto the unified counter vocabulary.  The
+// VTune-style generic cache_references/cache_misses pair maps to the
+// last-level (L3) view so sim and native reports render on the same
+// Table II columns.
+[[nodiscard]] perf::CounterSet to_counter_set(const MachineCounters& m);
 
 // One span of a worker thread residing on a PU — rows of Fig. 2.
 struct ResidencySegment {
@@ -109,6 +134,26 @@ class Machine {
   [[nodiscard]] const MachineCounters& counters() const;
   void reset_counters();
 
+  // --- Per-core, per-phase attribution (the VTune per-core view) ------------
+  // Every counter mutation inside run_phase is additionally charged to the
+  // (phase tag, executing core) domain, so cache misses, DRAM queueing,
+  // steals and barrier waits can be attributed to "which core, during which
+  // engine phase".  By construction the domains tile the machine-global
+  // counters: summing any field over all tags and cores reproduces
+  // counters() (cache-level stats up to floating-point accumulation order
+  // for the cycle-valued fields) — the conservation law the counters-smoke
+  // CI stage enforces.
+  // Phase tags seen since the last reset_counters(), ascending.
+  [[nodiscard]] std::vector<int> counter_phases() const;
+  // One domain cell; zeroes when (tag, core) was never touched.
+  [[nodiscard]] MachineCounters phase_core_counters(int phase_tag, int core) const;
+  [[nodiscard]] MachineCounters phase_counters(int phase_tag) const;  // sum over cores
+  [[nodiscard]] MachineCounters core_counters(int core) const;        // sum over phases
+  // The full matrix as a provider-"sim" PmuReport (lane = core).  Busy
+  // cycles and task counts are folded in from the event log when
+  // record_events is on.
+  [[nodiscard]] perf::PmuReport pmu_report() const;
+
   [[nodiscard]] const perf::EventLog& event_log() const { return event_log_; }
   [[nodiscard]] const std::vector<ResidencySegment>& residency() const { return residency_; }
 
@@ -154,6 +199,13 @@ class Machine {
   [[nodiscard]] double exp_sample(double mean);
   [[nodiscard]] double compute_factor(int pu) const;
 
+  // The (current phase, core) domain cell for an access from `pu`.  Valid
+  // only inside run_phase (cur_phase_ is set there).
+  [[nodiscard]] MachineCounters& dom(int pu) {
+    MWX_ASSERT(cur_phase_ != nullptr && pu >= 0);
+    return (*cur_phase_)[static_cast<std::size_t>(config_.spec.pu_to_core(pu))];
+  }
+
   MachineConfig config_;
   std::vector<Level> levels_;
   std::vector<double> controller_free_;   // per package, cycles
@@ -167,6 +219,10 @@ class Machine {
   int agent_core_ = -1;
   Rng rng_;
   MachineCounters counters_;
+  // Per-phase-tag, per-core counter domains (the attribution matrix), plus
+  // the hot pointer into the row of the phase currently being simulated.
+  std::map<int, std::vector<MachineCounters>> phase_core_;
+  std::vector<MachineCounters>* cur_phase_ = nullptr;
   perf::EventLog event_log_;
   std::vector<ResidencySegment> residency_;
 };

@@ -1,0 +1,285 @@
+// mwx_run — one-shot artifact producer for the run-report pipeline.
+//
+// Runs one Table I benchmark through BOTH backends and writes, into the
+// current directory:
+//
+//   PMU_<name>_sim.json      per-core/per-phase counters (provider "sim"),
+//                            with the machine-global aggregate attached so
+//                            consumers can re-verify conservation;
+//   PMU_<name>_native.json   per-worker/per-phase counters from
+//                            perf_event_open, or the labelled "fallback"
+//                            (thread CPU time + soft faults) when denied;
+//   TRACE_<name>_sim.json    chrome://tracing view in simulated seconds;
+//   TRACE_<name>_native.json chrome://tracing view in wall seconds;
+//   BENCH_<name>_run.json    run summary, load imbalance from the
+//                            ground-truth event log, and allocation totals.
+//
+// tools/mwx-report joins these files into the VTune-style Markdown/JSON run
+// report.  With --check the tool re-derives the sim conservation law — every
+// per-(phase, core) counter domain summed over both axes must reproduce the
+// machine-global counters — and exits nonzero on any mismatch, which is what
+// the ci.sh counters-smoke stage asserts.
+//
+// The simulated run is executed from cold (no warmup/reset split): the event
+// log spans the machine's whole lifetime, so busy/task attribution and the
+// counter window must cover the same steps.
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "md/engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "perf/native_pmu.hpp"
+#include "perf/pmu.hpp"
+#include "perf/trace_ring.hpp"
+#include "sim/machine.hpp"
+#include "topo/machine_spec.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace mwx;
+
+struct Options {
+  std::string benchmark = "Al-1000";
+  int steps = 200;
+  int threads = 4;
+  std::string name;  // artifact stem; defaults to "<benchmark>_<threads>t"
+  bool check = false;
+  sim::Assignment assignment = sim::Assignment::WorkStealing;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <benchmark> <steps> <threads> [--name STEM] [--check]"
+               " [--assignment static|queue|steal]\n"
+               "  benchmark: nanocar | salt | Al-1000\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 4) usage(argv[0]);
+  Options opt;
+  opt.benchmark = argv[1];
+  opt.steps = std::atoi(argv[2]);
+  opt.threads = std::atoi(argv[3]);
+  if (opt.steps <= 0 || opt.threads <= 0) usage(argv[0]);
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--name" && i + 1 < argc) {
+      opt.name = argv[++i];
+    } else if (arg == "--assignment" && i + 1 < argc) {
+      const std::string a = argv[++i];
+      if (a == "static") {
+        opt.assignment = sim::Assignment::Static;
+      } else if (a == "queue") {
+        opt.assignment = sim::Assignment::SharedQueue;
+      } else if (a == "steal") {
+        opt.assignment = sim::Assignment::WorkStealing;
+      } else {
+        usage(argv[0]);
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.name.empty()) {
+    opt.name = opt.benchmark + "_" + std::to_string(opt.threads) + "t";
+  }
+  return opt;
+}
+
+md::Engine make_engine(const Options& opt) {
+  workloads::BenchmarkSpec spec = workloads::make_benchmark(opt.benchmark);
+  md::EngineConfig cfg = spec.engine;
+  cfg.n_threads = opt.threads;
+  cfg.assignment = opt.assignment;
+  // Dynamic disciplines need more chunks than threads for queueing/stealing
+  // to have anything to move.
+  cfg.chunks_per_thread = opt.assignment == sim::Assignment::Static ? 1 : 4;
+  return md::Engine(std::move(spec.system), cfg);
+}
+
+// --- Conservation check ------------------------------------------------------
+
+int g_check_failures = 0;
+
+void check_field(const char* field, double global, double domains, bool exact) {
+  const double tol = exact ? 0.0 : 1e-6 * std::max({std::fabs(global), std::fabs(domains), 1.0});
+  if (std::fabs(global - domains) > tol) {
+    std::cerr << "CONSERVATION VIOLATION: " << field << " global=" << global
+              << " sum-of-domains=" << domains << "\n";
+    ++g_check_failures;
+  }
+}
+
+// Sums every per-(phase, core) domain and compares field-by-field with the
+// machine-global counters: integer-valued counts must match exactly; the
+// cycle-valued doubles accumulate in a different order, so they get a small
+// relative tolerance.
+void check_conservation(const sim::Machine& machine) {
+  sim::MachineCounters sum;
+  for (int tag : machine.counter_phases()) sum += machine.phase_counters(tag);
+  const sim::MachineCounters& g = machine.counters();
+
+  check_field("l1.hits", double(g.l1.hits), double(sum.l1.hits), true);
+  check_field("l1.misses", double(g.l1.misses), double(sum.l1.misses), true);
+  check_field("l1.dirty_evictions", double(g.l1.dirty_evictions),
+              double(sum.l1.dirty_evictions), true);
+  check_field("l2.hits", double(g.l2.hits), double(sum.l2.hits), true);
+  check_field("l2.misses", double(g.l2.misses), double(sum.l2.misses), true);
+  check_field("l2.dirty_evictions", double(g.l2.dirty_evictions),
+              double(sum.l2.dirty_evictions), true);
+  check_field("l3.hits", double(g.l3.hits), double(sum.l3.hits), true);
+  check_field("l3.misses", double(g.l3.misses), double(sum.l3.misses), true);
+  check_field("l3.dirty_evictions", double(g.l3.dirty_evictions),
+              double(sum.l3.dirty_evictions), true);
+  check_field("dram_line_fetches", double(g.dram_line_fetches),
+              double(sum.dram_line_fetches), true);
+  check_field("dram_writebacks", double(g.dram_writebacks), double(sum.dram_writebacks), true);
+  check_field("migrations", double(g.migrations), double(sum.migrations), true);
+  check_field("steals", double(g.steals), double(sum.steals), true);
+  check_field("dram_queue_cycles", g.dram_queue_cycles, sum.dram_queue_cycles, false);
+  check_field("steal_overhead_cycles", g.steal_overhead_cycles, sum.steal_overhead_cycles,
+              false);
+  check_field("noise_stall_cycles", g.noise_stall_cycles, sum.noise_stall_cycles, false);
+  check_field("queue_wait_cycles", g.queue_wait_cycles, sum.queue_wait_cycles, false);
+  check_field("monitor_wait_cycles", g.monitor_wait_cycles, sum.monitor_wait_cycles, false);
+  check_field("barrier_wait_cycles", g.barrier_wait_cycles, sum.barrier_wait_cycles, false);
+}
+
+void write_text_file(const std::string& path, const std::string& what,
+                     const std::function<void(std::ostream&)>& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  body(out);
+  std::cout << "wrote " << path << " (" << what << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  // --- Simulated backend ------------------------------------------------------
+  md::Engine sim_engine = make_engine(opt);
+  sim::MachineConfig mc;
+  mc.spec = topo::core_i7_920();
+  mc.n_threads = opt.threads;
+  mc.record_events = true;
+  perf::TraceRing sim_trace(opt.threads + 1);
+  mc.trace = &sim_trace;
+  sim::Machine machine(mc);
+  sim_engine.run_simulated(machine, opt.steps);
+
+  const perf::PmuReport sim_report = machine.pmu_report();
+  const perf::CounterSet machine_total = sim::to_counter_set(machine.counters());
+  write_text_file("PMU_" + opt.name + "_sim.json", "sim counter domains",
+                  [&](std::ostream& out) {
+                    sim_report.write_json(out, opt.name, perf::build_git_sha(),
+                                          &machine_total);
+                  });
+  write_text_file("TRACE_" + opt.name + "_sim.json", "simulated-time trace",
+                  [&](std::ostream& out) {
+                    perf::write_chrome_trace(sim_trace.snapshot(), out);
+                  });
+
+  // --- Native backend ---------------------------------------------------------
+  md::Engine native_engine = make_engine(opt);
+  perf::PmuAccumulator pmu(opt.threads);
+  perf::TraceRing native_trace(opt.threads + 1);
+  native_engine.attach_pmu(&pmu);
+  native_engine.attach_trace(&native_trace);
+  {
+    parallel::ThreadPoolConfig pc;
+    pc.n_threads = opt.threads;
+    pc.queue_mode = opt.assignment == sim::Assignment::SharedQueue
+                        ? parallel::QueueMode::Single
+                        : (opt.assignment == sim::Assignment::WorkStealing
+                               ? parallel::QueueMode::WorkStealing
+                               : parallel::QueueMode::PerThread);
+    parallel::FixedThreadPool pool(pc);
+    native_engine.run_native(pool, opt.steps);
+    pool.shutdown();
+  }
+  const perf::PmuReport native_report = pmu.report();
+  write_text_file("PMU_" + opt.name + "_native.json",
+                  "native counters, provider " + native_report.provider,
+                  [&](std::ostream& out) {
+                    native_report.write_json(out, opt.name, perf::build_git_sha());
+                  });
+  write_text_file("TRACE_" + opt.name + "_native.json", "wall-time trace",
+                  [&](std::ostream& out) {
+                    perf::write_chrome_trace(native_trace.snapshot(), out);
+                  });
+
+  // --- Run summary ------------------------------------------------------------
+  // Backends ran the same physics; assert it before reporting anything.
+  if (sim_engine.total_energy() != native_engine.total_energy()) {
+    std::cerr << "BACKEND DIVERGENCE: sim total energy " << sim_engine.total_energy()
+              << " != native " << native_engine.total_energy() << "\n";
+    return 1;
+  }
+
+  bench::JsonEmitter json(opt.name + "_run");
+  json.set_provider("sim+" + native_report.provider);
+  json.note("run", "benchmark", opt.benchmark);
+  json.metric("run", "steps", opt.steps);
+  json.metric("run", "threads", opt.threads);
+  json.metric("run", "sim_seconds", machine.now_seconds());
+  json.metric("run", "sim_seconds_per_step", machine.now_seconds() / opt.steps);
+  json.metric("run", "rebuilds", double(sim_engine.rebuild_count()));
+  json.metric("run", "total_energy", sim_engine.total_energy());
+
+  // Load imbalance from the ground-truth event log (exact busy intervals).
+  const auto busy = machine.event_log().busy_per_thread();
+  double busy_max = 0.0, busy_sum = 0.0;
+  for (std::size_t i = 0; i < busy.size(); ++i) {
+    json.metric("imbalance", "busy_seconds_thread_" + std::to_string(i), busy[i]);
+    busy_max = std::max(busy_max, busy[i]);
+    busy_sum += busy[i];
+  }
+  const double busy_mean = busy.empty() ? 0.0 : busy_sum / double(busy.size());
+  json.metric("imbalance", "max_over_mean", busy_mean > 0 ? busy_max / busy_mean : 1.0);
+  json.metric("imbalance", "imbalance_pct",
+              busy_mean > 0 ? (busy_max / busy_mean - 1.0) * 100.0 : 0.0);
+  json.metric("imbalance", "steals", double(machine.counters().steals));
+
+  // Allocation totals (the VisualVM live-objects substitute) so cache
+  // pollution can be cited alongside miss rates.
+  long long total_allocs = 0;
+  for (const auto& tr : sim_engine.tracker().all_reports()) {
+    json.metric("alloc", "total_" + tr.type_name, double(tr.total_allocated));
+    total_allocs += tr.total_allocated;
+  }
+  json.metric("alloc", "total_allocations", double(total_allocs));
+  json.metric("alloc", "allocations_per_step", double(total_allocs) / opt.steps);
+  if (sim_engine.temp_vec3_type() >= 0) {
+    const auto tr = sim_engine.tracker().report(sim_engine.temp_vec3_type());
+    json.metric("alloc", "temp_vec3_per_step", double(tr.total_allocated) / opt.steps);
+  }
+  std::cout << "wrote " << json.write() << " (run summary)\n";
+
+  // --- Conservation self-check ------------------------------------------------
+  if (opt.check) {
+    check_conservation(machine);
+    if (g_check_failures > 0) {
+      std::cerr << g_check_failures << " conservation failure(s)\n";
+      return 1;
+    }
+    std::cout << "conservation check passed: per-phase/per-core domains tile the "
+                 "machine-global counters\n";
+  }
+  return 0;
+}
