@@ -82,6 +82,45 @@ print("REPORT_ci OK: conservation holds,", len(report["summary"]), "summary metr
 EOF
 rm -rf "${counters_dir}"
 
+echo "== bench smoke: raw_speed ablation emitter (tiny sizes) =="
+# The tier-2 speed ablation must keep its bit-identity guarantees (the bench
+# exits nonzero on any energy mismatch vs the scalar inline reference) and
+# its JSON schema: one variant_* group per cumulative ablation step plus the
+# PME micro-timing group.
+cmake --build --preset default --parallel "${jobs}" --target raw_speed
+raw_dir=$(mktemp -d)
+(cd "${raw_dir}" && "${repo_root}/build/bench/raw_speed" 512 6 4 2 >/dev/null)
+python3 - "${raw_dir}/BENCH_raw_speed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "raw_speed", doc.get("bench")
+assert doc.get("schema_version") == 2, f"schema_version: {doc.get('schema_version')}"
+assert doc.get("git_sha"), "git_sha missing or empty"
+assert doc.get("provider") == "native", f"provider: {doc.get('provider')}"
+variants = ["baseline", "tiled_coulomb", "overlap", "numa"]
+for i, v in enumerate(variants):
+    g = doc.get("variant_" + v)
+    assert g, f"missing variant_{v} group"
+    assert int(float(g["order"])) == i, f"variant_{v} out of order"
+    assert float(g["seconds_per_step"]) > 0.0, f"variant_{v} has no timing"
+    assert float(g["energy_bits_match_scalar"]) == 1.0, \
+        f"variant_{v} diverged from the scalar reference"
+assert float(doc["variant_baseline"]["speedup_vs_baseline"]) == 1.0
+pme = doc["pme"]
+assert float(pme["bits_match"]) == 1.0, "PME vectorized path diverged"
+assert float(pme["scalar_seconds"]) > 0.0 and float(pme["vectorized_seconds"]) > 0.0
+print("BENCH_raw_speed.json OK:", len(variants), "variants + pme micro")
+EOF
+rm -rf "${raw_dir}"
+
+echo "== forced-scalar: build + ctest with MWX_AVX2=OFF (scalar preset) =="
+# The bit-identity suites must hold in both ISAs: the vectorized lane loops
+# are value-preserving claims about *expressions*, not about AVX2.
+cmake --preset scalar
+cmake --build --preset scalar --parallel "${jobs}"
+ctest --preset scalar -j "${jobs}"
+
 echo "== tsan: concurrency suites (tsan preset) =="
 cmake --preset tsan
 cmake --build --preset tsan --parallel "${jobs}"

@@ -32,7 +32,7 @@ int CellGrid::cell_of(const Vec3& p) const {
   return (cz * ny_ + cy) * nx_ + cx;
 }
 
-void CellGrid::bin(const std::vector<Vec3>& positions) {
+void CellGrid::bin(std::span<const Vec3> positions) {
   const std::size_t n = positions.size();
   scratch_.resize(n);
   std::fill(start_.begin(), start_.end(), 0);

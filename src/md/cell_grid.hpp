@@ -5,6 +5,7 @@
 // atom or in one of the grid boxes adjacent to that box."
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/require.hpp"
@@ -20,7 +21,7 @@ class CellGrid {
 
   // Rebuilds the cell contents from scratch (classic head/next linked
   // lists, flattened into a CSR-style occupancy table for fast scanning).
-  void bin(const std::vector<Vec3>& positions);
+  void bin(std::span<const Vec3> positions);
 
   [[nodiscard]] int n_cells() const { return nx_ * ny_ * nz_; }
   [[nodiscard]] int nx() const { return nx_; }

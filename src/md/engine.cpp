@@ -1,6 +1,8 @@
 #include "md/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "md/morton.hpp"
@@ -12,7 +14,8 @@ Engine::Engine(MolecularSystem sys, EngineConfig config)
     : sys_(std::move(sys)),
       config_(config),
       n_slots_(compute_slots(config)),
-      heap_(config.heap, std::max(1, sys_.n_atoms())),
+      neighbor_capacity_(compute_neighbor_capacity(sys_, config)),
+      heap_(config.heap, std::max(1, sys_.n_atoms()), neighbor_capacity_),
       grid_(sys_.box().lo, sys_.box().hi, config.cutoff + config.skin),
       nlist_(std::max(1, sys_.n_atoms()), config.cutoff, config.skin),
       lj_(sys_, config.cutoff),
@@ -37,7 +40,7 @@ Engine::Engine(MolecularSystem sys, EngineConfig config)
   const int nbr_type = tracker_.register_type(
       "neighbor lists (int[])",
       static_cast<std::size_t>(sys_.n_atoms()) *
-          static_cast<std::size_t>(config_.neighbor_capacity) * 4,
+          static_cast<std::size_t>(neighbor_capacity_) * 4,
       /*transient_type=*/false);
   tracker_.on_alloc(nbr_type, 0);
   const int priv_type = tracker_.register_type(
@@ -46,6 +49,23 @@ Engine::Engine(MolecularSystem sys, EngineConfig config)
           static_cast<std::size_t>(sys_.n_atoms()) * 24,
       /*transient_type=*/false);
   tracker_.on_alloc(priv_type, 0);
+}
+
+int Engine::compute_neighbor_capacity(const MolecularSystem& sys, const EngineConfig& config) {
+  if (config.neighbor_capacity > 0) return config.neighbor_capacity;
+  // Expected half-list row count: atoms inside the list-radius sphere at the
+  // system's mean density, halved because a pair is stored on its lower
+  // index.  Doubled for local density fluctuations (surfaces, clusters), then
+  // clamped — the floor keeps tiny/sparse systems from degenerate widths, the
+  // ceiling bounds the modelled footprint for pathological densities.
+  const Vec3 ext = sys.box().extent();
+  const double volume = ext.x * ext.y * ext.z;
+  const double density = volume > 0.0 ? static_cast<double>(sys.n_atoms()) / volume : 0.0;
+  const double reach = config.cutoff + config.skin;
+  const double expected = 4.0 / 3.0 * 3.14159265358979323846 * reach * reach * reach *
+                          density * 0.5;
+  const int cap = static_cast<int>(std::ceil(expected * 2.0));
+  return std::clamp(cap, 64, 2048);
 }
 
 int Engine::compute_slots(const EngineConfig& config) {
@@ -97,15 +117,7 @@ std::vector<Engine::TaskDesc> Engine::neighbor_count_tasks() const {
   return tasks;
 }
 
-std::vector<Engine::TaskDesc> Engine::forces_phase_tasks() const {
-  // The fused 3+4 phase mixes task kinds in one dispatch: LJ/neighbor chunks
-  // over atoms, Coulomb chunks over the charged list, and bonded chunks over
-  // each bond list.  Owners round-robin within each kind so every thread
-  // gets a slice of every force type (the paper's per-phase 1/N split).
-  std::vector<TaskDesc> tasks;
-  std::vector<std::pair<int, int>> ranges;
-  const int n_chunks = config_.n_threads * config_.chunks_per_thread;
-
+std::vector<Engine::TaskDesc> Engine::forces_lj_tasks() const {
   // LJ and Coulomb domains have index-correlated (triangular) per-item cost
   // because the lower-indexed atom of a pair does the work.  Under the
   // static disciplines a cyclic decomposition gives each chunk the same
@@ -113,9 +125,11 @@ std::vector<Engine::TaskDesc> Engine::forces_phase_tasks() const {
   // triangle dynamically, so we use contiguous chunks instead: their scatter
   // footprint is block-local, which is what makes the sparse reduction skip
   // most (slot, block) pairs.
-  const bool contiguous_pairs = config_.assignment == sim::Assignment::WorkStealing;
+  std::vector<TaskDesc> tasks;
+  const int n_chunks = config_.n_threads * config_.chunks_per_thread;
   if (sys_.n_atoms() > 0) {
-    if (contiguous_pairs) {
+    if (config_.assignment == sim::Assignment::WorkStealing) {
+      std::vector<std::pair<int, int>> ranges;
       chunk_range(sys_.n_atoms(), n_chunks, ranges);
       int c = 0;
       for (auto [b, e] : ranges)
@@ -127,8 +141,21 @@ std::vector<Engine::TaskDesc> Engine::forces_phase_tasks() const {
       }
     }
   }
+  return tasks;
+}
+
+std::vector<Engine::TaskDesc> Engine::forces_aux_tasks() const {
+  // Everything in phase 4 except LJ: Coulomb chunks over the charged list
+  // and bonded chunks over each bond list.  Owners round-robin within each
+  // kind so every thread gets a slice of every force type (the paper's
+  // per-phase 1/N split).  None of these touch the neighbor list, which is
+  // what lets the overlapped schedule run them during the CSR count pass.
+  std::vector<TaskDesc> tasks;
+  std::vector<std::pair<int, int>> ranges;
+  const int n_chunks = config_.n_threads * config_.chunks_per_thread;
+
   if (sys_.n_charged() > 0) {
-    if (contiguous_pairs) {
+    if (config_.assignment == sim::Assignment::WorkStealing) {
       chunk_range(sys_.n_charged(), n_chunks, ranges);
       int c = 0;
       for (auto [b, e] : ranges)
@@ -158,6 +185,17 @@ std::vector<Engine::TaskDesc> Engine::forces_phase_tasks() const {
   return tasks;
 }
 
+std::vector<Engine::TaskDesc> Engine::forces_phase_tasks() const {
+  // Canonical phase-4 order: aux kinds first, LJ last.  Per accumulation
+  // slot this is the exact serial-chain order the overlapped rebuild
+  // schedule reproduces (aux in kPhaseOverlap, LJ in kPhaseForces), so both
+  // schedules accumulate every buffer in the same floating-point order.
+  std::vector<TaskDesc> tasks = forces_aux_tasks();
+  const std::vector<TaskDesc> lj = forces_lj_tasks();
+  tasks.insert(tasks.end(), lj.begin(), lj.end());
+  return tasks;
+}
+
 template <typename Mem>
 void Engine::run_task(const TaskDesc& t, int buffer, Mem& mem) {
   switch (t.kind) {
@@ -178,7 +216,8 @@ void Engine::run_task(const TaskDesc& t, int buffer, Mem& mem) {
                                config_.tiled_lj);
       break;
     case Kind::Coulomb:
-      coulomb_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, t.stride, mem);
+      coulomb_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, t.stride, mem,
+                    config_.tiled_coulomb, &packed_charges_);
       break;
     case Kind::RadialBonds:
       radial_bond_chunk(sys_, config_.costs, buffers_, buffer, t.begin, t.end, mem);
@@ -339,6 +378,16 @@ void Engine::master_rebuild_prologue(sim::Machine* machine) {
   }
 }
 
+void Engine::pack_charges() {
+  if (!config_.tiled_coulomb || sys_.n_charged() == 0) return;
+  // Serial master work: refresh the charged-atom SoA snapshot the lane loop
+  // streams.  Bits are copied verbatim, so the vector path subtracts the
+  // same values the scalar path reads through the index list.  Runs after
+  // the predictor (positions moved) and after any rebuild reorder (indices
+  // permuted), before the force dispatch.
+  packed_charges_.pack(sys_);
+}
+
 void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
   const double sim_step_begin = machine != nullptr ? machine->now_seconds() : 0.0;
 
@@ -352,16 +401,37 @@ void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
 
   // Phases 3+4 (fused): optional rebuild + all force computations.  The CSR
   // rebuild inserts a parallel count pass and a serial prefix sum between
-  // the master prologue and the fill-and-compute phase.
+  // the master prologue and the fill-and-compute phase.  With overlap_rebuild
+  // the count pass shares one dispatch with the aux force kinds (which never
+  // read the neighbor list) and only LJ waits behind the prefix sum; the
+  // fallback keeps count and forces as separate phases.  Either way each
+  // accumulation slot's serial chain sees aux-then-LJ, so the schedules are
+  // bit-identical.
   if (rebuild_now_) {
     master_rebuild_prologue(machine);
-    exec_phase(pool, machine, kPhaseNeighborCount, neighbor_count_tasks());
-    nlist_.finalize_offsets();
-    if (machine != nullptr) {
-      machine->run_serial(config_.costs.nbr_prefix_atom * sys_.n_atoms());
+    pack_charges();
+    if (config_.overlap_rebuild) {
+      std::vector<TaskDesc> fused = neighbor_count_tasks();
+      const std::vector<TaskDesc> aux = forces_aux_tasks();
+      fused.insert(fused.end(), aux.begin(), aux.end());
+      exec_phase(pool, machine, kPhaseOverlap, fused);
+      nlist_.finalize_offsets();
+      if (machine != nullptr) {
+        machine->run_serial(config_.costs.nbr_prefix_atom * sys_.n_atoms());
+      }
+      exec_phase(pool, machine, kPhaseForces, forces_lj_tasks());
+    } else {
+      exec_phase(pool, machine, kPhaseNeighborCount, neighbor_count_tasks());
+      nlist_.finalize_offsets();
+      if (machine != nullptr) {
+        machine->run_serial(config_.costs.nbr_prefix_atom * sys_.n_atoms());
+      }
+      exec_phase(pool, machine, kPhaseForces, forces_phase_tasks());
     }
+  } else {
+    pack_charges();
+    exec_phase(pool, machine, kPhaseForces, forces_phase_tasks());
   }
-  exec_phase(pool, machine, kPhaseForces, forces_phase_tasks());
   if (rebuild_now_) nlist_.end_rebuild();
 
   // Phase 5: reduction of privatized force arrays.  The sweep zeroes every
@@ -393,9 +463,66 @@ void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
   ++steps_done_;
 }
 
+void Engine::place_first_touch(parallel::FixedThreadPool& pool) {
+  // Re-home the hot arrays by first touch: allocate fresh (untouched) pages
+  // and have each worker write the block it will own during the run, so a
+  // first-touch kernel homes those pages on the worker's node.  Values are
+  // copied bit-for-bit — the trajectory cannot change.  Placement is
+  // best-effort: under work stealing a task (and later the chunks
+  // themselves) may migrate, which only costs locality, never correctness.
+  const int n = sys_.n_atoms();
+  const int nt = config_.n_threads;
+
+  // Per-atom state: worker w rewrites the same contiguous 1/N block the
+  // static atom-phase split assigns it.
+  auto repack = [&](PageVec<Vec3>& v) {
+    PageVec<Vec3> fresh;
+    fresh.resize_uninitialized(v.size());
+    parallel::CountDownLatch latch(nt);
+    for (int w = 0; w < nt; ++w) {
+      pool.submit_to(w, [&, w] {
+        const int b = static_cast<int>((static_cast<long long>(n) * w) / nt);
+        const int e = static_cast<int>((static_cast<long long>(n) * (w + 1)) / nt);
+        if (e > b) {
+          std::memcpy(fresh.data() + b, v.data() + b,
+                      static_cast<std::size_t>(e - b) * sizeof(Vec3));
+        }
+        latch.count_down();
+      });
+    }
+    latch.await();
+    v = std::move(fresh);
+  };
+  repack(sys_.positions());
+  repack(sys_.velocities());
+  repack(sys_.accelerations());
+
+  // Private force buffers: each slot's full-length array is rewritten (to
+  // its required all-+0.0 state) by the worker that seeds that slot's task
+  // chains.  Only valid between steps, when the buffers are drained.
+  std::vector<PageVec<Vec3>> slots(static_cast<std::size_t>(n_slots_));
+  parallel::CountDownLatch latch(n_slots_);
+  for (int slot = 0; slot < n_slots_; ++slot) {
+    slots[static_cast<std::size_t>(slot)].resize_uninitialized(static_cast<std::size_t>(n));
+    pool.submit_to(slot % nt, [&slots, &latch, slot, n] {
+      std::memset(slots[static_cast<std::size_t>(slot)].data(), 0,
+                  static_cast<std::size_t>(n) * sizeof(Vec3));
+      latch.count_down();
+    });
+  }
+  latch.await();
+  for (int slot = 0; slot < n_slots_; ++slot) {
+    buffers_.slot_array(slot) = std::move(slots[static_cast<std::size_t>(slot)]);
+  }
+}
+
 void Engine::run_native(parallel::FixedThreadPool& pool, int n_steps) {
   require(pool.n_threads() == config_.n_threads,
           "pool size must match engine's configured worker count");
+  if (config_.first_touch && !placed_) {
+    place_first_touch(pool);
+    placed_ = true;
+  }
   for (int s = 0; s < n_steps; ++s) step(&pool, nullptr);
 }
 
@@ -412,6 +539,7 @@ void Engine::run_simulated(sim::Machine& machine, int n_steps) {
 void Engine::compute_forces_only() {
   rebuild_now_ = true;
   master_rebuild_prologue(nullptr);
+  pack_charges();
   NullMem mem;
   for (const TaskDesc& t : neighbor_count_tasks()) run_task(t, t.owner, mem);
   nlist_.finalize_offsets();

@@ -59,9 +59,13 @@ struct EngineConfig {
   double cutoff = 8.0;  // Å
   double skin = 0.9;    // Å
   // Width of the modelled Java int[n][cap] neighbor table (allocation-tracker
-  // accounting only).  The engine itself stores neighbors in a compacted CSR
-  // list sized to the actual pair count.
-  int neighbor_capacity = 384;
+  // and heap-region accounting only — the engine itself stores neighbors in a
+  // compacted CSR list sized to the actual pair count).  0 (the default)
+  // derives the width from the system's measured density: twice the expected
+  // half-list row count within the list radius, clamped to [64, 2048].  The
+  // old fixed 384 both overstated sparse gases ~10x and would understate a
+  // dense bulk crystal; a positive value here forces that width.
+  int neighbor_capacity = 0;
 
   HeapConfig heap;  // layout model for the simulated backend
   TemporariesMode temporaries = TemporariesMode::JavaStyle;
@@ -89,6 +93,26 @@ struct EngineConfig {
   // the locality bench's before/after comparison.
   bool tiled_lj = true;
 
+  // Evaluate the Coulomb inner loop with the tiled kernel (same lane-loop
+  // discipline, same bit-identity guarantee; bench/raw_speed ablates it).
+  bool tiled_coulomb = true;
+
+  // On rebuild steps, run the CSR neighbor-count pass concurrently with the
+  // non-LJ force work (Coulomb + bonds) in a single fused phase, leaving only
+  // the LJ fill+compute behind the serial prefix sum.  One barrier fewer per
+  // rebuild and the count pass's imbalance is padded with independent force
+  // work.  Bit-identical to the unoverlapped schedule: count tasks write no
+  // force buffers, and each accumulation slot still sees aux-then-LJ in the
+  // same serial-chain order.
+  bool overlap_rebuild = true;
+
+  // First-touch NUMA placement (native backend only): before the first step,
+  // re-home the hot per-atom arrays and each accumulation slot's private
+  // force buffer by rewriting them from the worker that owns the
+  // corresponding static chunk/slot.  Pure page movement — values are copied
+  // bit-for-bit, so trajectories are unchanged.
+  bool first_touch = false;
+
   // Phase 5 sweeps only the (slot, block) pairs the force kernels actually
   // scattered into instead of the full O(n_atoms x n_slots) matrix.
   // Bit-identical to the dense sweep (untouched entries are exactly +0.0);
@@ -100,10 +124,11 @@ struct EngineConfig {
 enum PhaseId : int {
   kPhasePredictor = 1,
   kPhaseCheck = 2,
-  kPhaseNeighborCount = 3,  // CSR count pass (rebuild steps only)
+  kPhaseNeighborCount = 3,  // CSR count pass (rebuild steps, overlap off)
   kPhaseForces = 4,         // fused 3+4
   kPhaseReduce = 5,
   kPhaseCorrector = 6,
+  kPhaseOverlap = 7,        // CSR count pass fused with non-LJ forces
 };
 
 class Engine {
@@ -139,6 +164,9 @@ class Engine {
   // bit-identical: per-buffer floating-point accumulation order never
   // depends on which worker ran the chain.
   [[nodiscard]] int n_slots() const { return n_slots_; }
+  // The neighbor-table width actually used for heap/tracker accounting:
+  // config.neighbor_capacity if positive, else the density-derived width.
+  [[nodiscard]] int neighbor_capacity() const { return neighbor_capacity_; }
   [[nodiscard]] long long rebuild_count() const { return nlist_.rebuild_count(); }
   [[nodiscard]] const NeighborList& neighbor_list() const { return nlist_; }
   [[nodiscard]] HeapModel& heap() { return heap_; }
@@ -192,10 +220,19 @@ class Engine {
   };
 
   [[nodiscard]] std::vector<TaskDesc> atom_phase_tasks(Kind kind) const;
+  // The force phase is split in two so the overlapped rebuild schedule can
+  // run the aux kinds (Coulomb + bonds) alongside the neighbor count while
+  // only the LJ fill waits on the prefix sum.  forces_phase_tasks() is the
+  // concatenation aux-then-LJ — the canonical per-slot accumulation order
+  // every schedule reproduces.
+  [[nodiscard]] std::vector<TaskDesc> forces_aux_tasks() const;
+  [[nodiscard]] std::vector<TaskDesc> forces_lj_tasks() const;
   [[nodiscard]] std::vector<TaskDesc> forces_phase_tasks() const;
   [[nodiscard]] std::vector<TaskDesc> neighbor_count_tasks() const;
   static void chunk_range(int n, int n_chunks, std::vector<std::pair<int, int>>& out);
   [[nodiscard]] static int compute_slots(const EngineConfig& config);
+  [[nodiscard]] static int compute_neighbor_capacity(const MolecularSystem& sys,
+                                                     const EngineConfig& config);
 
   template <typename Mem>
   void run_task(const TaskDesc& t, int buffer, Mem& mem);
@@ -206,20 +243,25 @@ class Engine {
   void exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, int tag,
                   const std::vector<TaskDesc>& tasks);
   void master_rebuild_prologue(sim::Machine* machine);
+  void pack_charges();
+  void place_first_touch(parallel::FixedThreadPool& pool);
 
   MolecularSystem sys_;
   EngineConfig config_;
   int n_slots_;
+  int neighbor_capacity_;  // resolved width; initialized before heap_
   HeapModel heap_;
   CellGrid grid_;
   NeighborList nlist_;
   LjTable lj_;
   ForceBuffers buffers_;
+  PackedCharges packed_charges_;  // charged-atom SoA for the tiled Coulomb path
   perf::AllocationTracker tracker_;
   int temp_type_ = -1;
   sim::PhaseWork phase_work_;
   std::atomic<bool> rebuild_flag_{false};
   bool rebuild_now_ = false;
+  bool placed_ = false;  // first-touch placement pass already ran
   double last_pe_ = 0.0;
   double last_ke_ = 0.0;
   long long steps_done_ = 0;

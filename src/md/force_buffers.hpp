@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/page_vec.hpp"
 #include "common/require.hpp"
 #include "common/vec3.hpp"
 
@@ -45,7 +46,7 @@ class ForceBuffers {
         // share one (the marks themselves must not false-share).
         touched_stride_(((static_cast<std::size_t>(n_blocks_) + 63) / 64) * 64),
         force_(static_cast<std::size_t>(n_workers),
-               std::vector<Vec3>(static_cast<std::size_t>(n_atoms))),
+               PageVec<Vec3>(static_cast<std::size_t>(n_atoms))),
         touched_(static_cast<std::size_t>(n_workers) * touched_stride_, 0),
         pe_(static_cast<std::size_t>(n_workers)),
         ke_(static_cast<std::size_t>(n_workers)) {
@@ -70,6 +71,13 @@ class ForceBuffers {
   // Reduction-facing access: reads/zeroes without setting marks.
   [[nodiscard]] Vec3& force_raw(int worker, int atom) {
     return force_[static_cast<std::size_t>(worker)][static_cast<std::size_t>(atom)];
+  }
+
+  // Whole-slot access for the first-touch placement pass, which replaces a
+  // slot's backing pages with ones homed on the owning worker's node.  Only
+  // valid between steps, when every entry is +0.0 and no marks are set.
+  [[nodiscard]] PageVec<Vec3>& slot_array(int worker) {
+    return force_[static_cast<std::size_t>(worker)];
   }
 
   [[nodiscard]] bool block_touched(int worker, int block) const {
@@ -141,7 +149,9 @@ class ForceBuffers {
   int n_atoms_;
   int n_blocks_;
   std::size_t touched_stride_;
-  std::vector<std::vector<Vec3>> force_;
+  // One PageVec per slot (not vector<vector>) so the placement pass can swap
+  // in freshly homed pages per slot without disturbing the others.
+  std::vector<PageVec<Vec3>> force_;
   std::vector<std::uint8_t> touched_;
   std::vector<PaddedTally> pe_;
   std::vector<PaddedTally> ke_;

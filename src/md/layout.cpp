@@ -13,9 +13,12 @@ const char* to_string(Layout l) {
   return "?";
 }
 
-HeapModel::HeapModel(HeapConfig config, int n_atoms)
-    : config_(config), n_atoms_(static_cast<std::uint64_t>(n_atoms)) {
+HeapModel::HeapModel(HeapConfig config, int n_atoms, int nbr_entries_per_atom)
+    : config_(config),
+      n_atoms_(static_cast<std::uint64_t>(n_atoms)),
+      nbr_entries_per_atom_(nbr_entries_per_atom) {
   require(n_atoms > 0, "heap model needs at least one atom");
+  require(nbr_entries_per_atom > 0, "neighbor capacity must be positive");
 
   // Region plan (addresses are model-space, 4 KiB aligned regions):
   //   [objects][SoA arrays][neighbor lists][cell lists][private forces][young]
@@ -28,8 +31,8 @@ HeapModel::HeapModel(HeapConfig config, int n_atoms)
   soa_base_ = align(objects_end);
   const std::uint64_t soa_end = soa_base_ + n_atoms_ * 24 * 5;  // 5 Vec3-ish arrays
   nbr_base_ = align(soa_end);
-  // Generous neighbor capacity: 512 entries per atom.
-  const std::uint64_t nbr_end = nbr_base_ + n_atoms_ * 512 * 4;
+  nbr_bytes_ = n_atoms_ * static_cast<std::uint64_t>(nbr_entries_per_atom_) * 4;
+  const std::uint64_t nbr_end = nbr_base_ + nbr_bytes_;
   cell_base_ = align(nbr_end);
   const std::uint64_t cell_end = cell_base_ + n_atoms_ * 8 + (1u << 16);
   priv_base_ = align(cell_end);
@@ -85,6 +88,50 @@ long long HeapModel::take_new_gcs() {
   const long long fresh = gc_count_ - reported_gcs_;
   reported_gcs_ = gc_count_;
   return fresh;
+}
+
+void HeapModel::configure_numa(int n_domains, int n_workers, bool first_touch) {
+  require(n_domains > 0 && n_workers > 0, "NUMA directory needs domains and workers");
+  numa_domains_ = n_domains;
+  numa_workers_ = n_workers;
+  numa_first_touch_ = first_touch;
+}
+
+int HeapModel::domain_of(std::uint64_t addr) const {
+  if (numa_domains_ == 0) return -1;
+  if (numa_domains_ == 1 || !numa_first_touch_) {
+    // Single-home mode: the master touched every page at initialization, so
+    // the whole modelled heap lives on domain 0.
+    return 0;
+  }
+  const auto nd = static_cast<std::uint64_t>(numa_domains_);
+  if (addr >= priv_base_ && addr < priv_base_ + 64ull * n_atoms_ * 24) {
+    // Private force arrays: homed with the worker that seeds the slot's
+    // chains (slot % n_workers, workers block-mapped over domains).
+    const std::uint64_t slot = (addr - priv_base_) / (n_atoms_ * 24);
+    const std::uint64_t worker = slot % static_cast<std::uint64_t>(numa_workers_);
+    return static_cast<int>(worker * nd / static_cast<std::uint64_t>(numa_workers_));
+  }
+  if (addr >= soa_base_ && addr < soa_base_ + n_atoms_ * 24 * 5) {
+    // SoA lanes: atom i's entries are written by the worker owning the
+    // contiguous 1/N block containing i.
+    const std::uint64_t atom = ((addr - soa_base_) / 24) % n_atoms_;
+    return static_cast<int>(atom * nd / n_atoms_);
+  }
+  if (addr >= object_base_ && addr < object_base_ + n_atoms_ * stride_) {
+    // Object clusters: same block map, by allocation rank.
+    const std::uint64_t rank = (addr - object_base_) / stride_;
+    return static_cast<int>(rank * nd / n_atoms_);
+  }
+  if (addr >= nbr_base_ && addr < nbr_base_ + nbr_bytes_) {
+    // CSR neighbor rows are filled by the worker that owns the row's atom;
+    // rows are laid out in atom order, so a proportional block map over the
+    // region approximates the per-row first touch.
+    return static_cast<int>((addr - nbr_base_) * nd / nbr_bytes_);
+  }
+  // Shared structures (cell lists, young region, anything else): written by
+  // whichever thread got there first — modelled as page interleave.
+  return static_cast<int>((addr / 4096) % nd);
 }
 
 void HeapModel::reorder(const std::vector<int>& new_order) {

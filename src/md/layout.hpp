@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/require.hpp"
+#include "sim/numa.hpp"
 
 namespace mwx::md {
 
@@ -46,11 +47,15 @@ struct HeapConfig {
   double gc_pause_seconds = 150e-6;
 };
 
-class HeapModel {
+class HeapModel : public sim::NumaDirectory {
  public:
-  HeapModel(HeapConfig config, int n_atoms);
+  // nbr_entries_per_atom sizes the modelled neighbor-table region (the Java
+  // int[n][cap] width).  The engine passes its density-derived capacity; the
+  // default matches the old fixed plan for direct construction in tests.
+  HeapModel(HeapConfig config, int n_atoms, int nbr_entries_per_atom = 512);
 
   [[nodiscard]] const HeapConfig& config() const { return config_; }
+  [[nodiscard]] int neighbor_entries_per_atom() const { return nbr_entries_per_atom_; }
 
   // --- Atom field addresses -------------------------------------------------
   [[nodiscard]] std::uint64_t pos_addr(int i) const { return field_addr(i, 0); }
@@ -106,20 +111,38 @@ class HeapModel {
   // Allocation rank backing atom i's modelled address (tests/diagnostics).
   [[nodiscard]] std::uint32_t slot_of(int i) const { return slot_[static_cast<std::size_t>(i)]; }
 
+  // --- NUMA directory --------------------------------------------------------
+  // Activates the per-address home mapping.  With first_touch, each region is
+  // homed the way the engine's placement pass would write it: per-atom data
+  // (objects/SoA) block-mapped by atom index over the domains, the CSR
+  // neighbor store block-mapped by region offset (rows are filled by the
+  // worker that owns the atom), private force arrays by owning slot, and the
+  // shared cell/young regions page-interleaved.  Without first_touch every
+  // address is homed on domain 0 — the single-node pathology of a master
+  // thread value-initializing the whole heap.
+  void configure_numa(int n_domains, int n_workers, bool first_touch);
+  [[nodiscard]] int domain_of(std::uint64_t addr) const override;
+  [[nodiscard]] int numa_domains() const { return numa_domains_; }
+
  private:
   [[nodiscard]] std::uint64_t field_addr(int i, int field) const;
 
   HeapConfig config_;
   std::uint64_t n_atoms_;
+  int nbr_entries_per_atom_;
   // slot_[i] = allocation-order rank of atom i's object cluster.
   std::vector<std::uint32_t> slot_;
   std::uint64_t object_base_ = 0;
   std::uint64_t stride_ = 0;      // bytes per atom object cluster
   std::uint64_t soa_base_ = 0;
   std::uint64_t nbr_base_ = 0;
+  std::uint64_t nbr_bytes_ = 0;
   std::uint64_t cell_base_ = 0;
   std::uint64_t priv_base_ = 0;
   std::uint64_t young_base_ = 0;
+  int numa_domains_ = 0;   // 0 = directory inactive (domain_of returns -1)
+  int numa_workers_ = 1;
+  bool numa_first_touch_ = false;
   std::uint64_t young_bytes_ = 0;
   std::uint64_t young_bump_ = 0;
   long long temp_allocations_ = 0;

@@ -38,7 +38,7 @@ std::uint64_t morton3(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
   return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
 }
 
-std::vector<int> morton_order(const std::vector<Vec3>& positions, const Vec3& lo,
+std::vector<int> morton_order(std::span<const Vec3> positions, const Vec3& lo,
                               const Vec3& hi, double cell_width) {
   require(cell_width > 0.0, "cell width must be positive");
   const Vec3 ext = hi - lo;

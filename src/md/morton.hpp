@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/vec3.hpp"
@@ -28,7 +29,7 @@ namespace mwx::md {
 // new_order with new_order[k] = old index of the atom placed k-th.  The sort
 // is stable, so atoms sharing a cell keep their relative order and the result
 // is deterministic for a given input regardless of worker count.
-[[nodiscard]] std::vector<int> morton_order(const std::vector<Vec3>& positions, const Vec3& lo,
+[[nodiscard]] std::vector<int> morton_order(std::span<const Vec3> positions, const Vec3& lo,
                                             const Vec3& hi, double cell_width);
 
 // Inverse permutation: inverse[new_order[k]] = k.  Validates that new_order

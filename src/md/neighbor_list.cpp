@@ -13,9 +13,9 @@ NeighborList::NeighborList(int n_atoms, double cutoff, double skin)
   offsets_.assign(static_cast<std::size_t>(n_atoms) + 1, 0);
 }
 
-void NeighborList::begin_rebuild(const std::vector<Vec3>& positions) {
+void NeighborList::begin_rebuild(std::span<const Vec3> positions) {
   require(positions.size() == counts_.size(), "atom count changed");
-  ref_pos_ = positions;
+  ref_pos_.assign(positions.begin(), positions.end());
   std::fill(counts_.begin(), counts_.end(), 0);
 }
 
@@ -28,12 +28,14 @@ void NeighborList::finalize_offsets() {
   offsets_[counts_.size()] = running;
   total_ = running;
   // Grow-only: steady-state rebuilds reuse the high-water allocation instead
-  // of churning the allocator every few steps.
-  if (entries_.size() < total_) entries_.resize(total_);
+  // of churning the allocator every few steps.  The grown tail stays
+  // untouched here — the fill pass writes every live entry before any reader
+  // sees it, and writing from the filling worker is what places the pages.
+  if (entries_.size() < total_) entries_.resize_uninitialized(total_);
   std::fill(cursor_.begin(), cursor_.end(), 0);
 }
 
-bool NeighborList::chunk_exceeds_skin(const std::vector<Vec3>& positions, int begin,
+bool NeighborList::chunk_exceeds_skin(std::span<const Vec3> positions, int begin,
                                       int end) const {
   if (!ever_built()) return true;
   // Euclidean displacement against skin/2: the list guarantees correctness

@@ -28,8 +28,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/page_vec.hpp"
 #include "common/require.hpp"
 #include "common/vec3.hpp"
 
@@ -47,7 +49,7 @@ class NeighborList {
   // --- Build (count -> prefix -> fill) ---------------------------------------
   // Snapshots reference positions and zeroes all row counts.  Chunks may then
   // count disjoint atoms concurrently via set_count.
-  void begin_rebuild(const std::vector<Vec3>& positions);
+  void begin_rebuild(std::span<const Vec3> positions);
   void set_count(int i, int c) {
     MWX_ASSERT(c >= 0);
     counts_[static_cast<std::size_t>(i)] = c;
@@ -83,7 +85,7 @@ class NeighborList {
   // True when some atom in [begin, end) has drifted more than skin/2 (by
   // Euclidean distance) since the last rebuild — the per-chunk validity
   // check of phase 2.
-  [[nodiscard]] bool chunk_exceeds_skin(const std::vector<Vec3>& positions, int begin,
+  [[nodiscard]] bool chunk_exceeds_skin(std::span<const Vec3> positions, int begin,
                                         int end) const;
 
   [[nodiscard]] long long rebuild_count() const { return rebuild_count_; }
@@ -96,7 +98,11 @@ class NeighborList {
   std::vector<int> counts_;
   std::vector<int> cursor_;          // per-row fill position (build only)
   std::vector<std::size_t> offsets_;  // n_atoms + 1 row starts
-  std::vector<int> entries_;          // exactly total_ packed entries
+  // Packed entries.  PageVec + resize_uninitialized keeps freshly grown row
+  // storage untouched through the serial prefix step, so the parallel fill
+  // pass — each worker writing its own rows — is what first-touches (and
+  // thereby NUMA-homes) the pages.
+  PageVec<int> entries_;              // exactly total_ packed entries
   std::size_t total_ = 0;
   std::vector<Vec3> ref_pos_;
   long long rebuild_count_ = 0;

@@ -43,7 +43,7 @@ std::vector<double> radial_distribution(const MolecularSystem& sys, double r_max
 }
 
 double mean_squared_displacement(const MolecularSystem& sys,
-                                 const std::vector<Vec3>& reference) {
+                                 std::span<const Vec3> reference) {
   require(reference.size() == sys.positions().size(), "reference size mismatch");
   double sum = 0.0;
   int count = 0;

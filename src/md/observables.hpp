@@ -5,6 +5,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,7 @@ std::vector<double> radial_distribution(const MolecularSystem& sys, double r_max
 // Mean-squared displacement (Å²) of movable atoms relative to reference
 // positions (typically a snapshot taken at t0).
 double mean_squared_displacement(const MolecularSystem& sys,
-                                 const std::vector<Vec3>& reference);
+                                 std::span<const Vec3> reference);
 
 // Multiplies all movable-atom velocities so the temperature becomes exactly
 // `target_kelvin` (hard rescale).

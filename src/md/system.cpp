@@ -7,10 +7,11 @@ namespace mwx::md {
 
 namespace {
 
-// Reorders `v` so the result holds v[new_order[k]] at position k.
-template <typename T>
-void apply_order(std::vector<T>& v, const std::vector<int>& new_order) {
-  std::vector<T> next(v.size());
+// Reorders `v` so the result holds v[new_order[k]] at position k.  Works for
+// std::vector and PageVec alike (both value-construct from a size and move).
+template <typename Container>
+void apply_order(Container& v, const std::vector<int>& new_order) {
+  Container next(v.size());
   for (std::size_t k = 0; k < new_order.size(); ++k) {
     next[k] = v[static_cast<std::size_t>(new_order[k])];
   }

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/page_vec.hpp"
 #include "common/require.hpp"
 #include "common/vec3.hpp"
 #include "md/types.hpp"
@@ -45,12 +46,14 @@ class MolecularSystem {
   [[nodiscard]] const Box& box() const { return box_; }
   [[nodiscard]] const AtomTypeTable& types() const { return types_; }
 
-  [[nodiscard]] const std::vector<Vec3>& positions() const { return pos_; }
-  [[nodiscard]] std::vector<Vec3>& positions() { return pos_; }
-  [[nodiscard]] const std::vector<Vec3>& velocities() const { return vel_; }
-  [[nodiscard]] std::vector<Vec3>& velocities() { return vel_; }
-  [[nodiscard]] const std::vector<Vec3>& accelerations() const { return acc_; }
-  [[nodiscard]] std::vector<Vec3>& accelerations() { return acc_; }
+  // Hot per-atom state lives in PageVec so a NUMA placement pass can re-home
+  // the backing pages by first touch (see Engine::place_first_touch).
+  [[nodiscard]] const PageVec<Vec3>& positions() const { return pos_; }
+  [[nodiscard]] PageVec<Vec3>& positions() { return pos_; }
+  [[nodiscard]] const PageVec<Vec3>& velocities() const { return vel_; }
+  [[nodiscard]] PageVec<Vec3>& velocities() { return vel_; }
+  [[nodiscard]] const PageVec<Vec3>& accelerations() const { return acc_; }
+  [[nodiscard]] PageVec<Vec3>& accelerations() { return acc_; }
 
   [[nodiscard]] double mass(int i) const { return mass_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] double inv_mass(int i) const { return inv_mass_[static_cast<std::size_t>(i)]; }
@@ -110,7 +113,7 @@ class MolecularSystem {
   AtomTypeTable types_;
   Box box_;
   std::unordered_set<std::uint64_t> exclusions_;
-  std::vector<Vec3> pos_, vel_, acc_;
+  PageVec<Vec3> pos_, vel_, acc_;
   std::vector<double> mass_, inv_mass_, charge_;
   std::vector<int> type_;
   std::vector<char> movable_;

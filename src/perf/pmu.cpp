@@ -23,6 +23,7 @@ const char* counter_name(Counter c) {
     case Counter::kL3Misses: return "l3_misses";
     case Counter::kL3DirtyEvictions: return "l3_dirty_evictions";
     case Counter::kDramLineFetches: return "dram_line_fetches";
+    case Counter::kDramRemoteFetches: return "dram_remote_fetches";
     case Counter::kDramWritebacks: return "dram_writebacks";
     case Counter::kDramQueueCycles: return "dram_queue_cycles";
     case Counter::kMigrations: return "migrations";

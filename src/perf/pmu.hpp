@@ -49,6 +49,7 @@ enum class Counter : int {
   kL3Misses,
   kL3DirtyEvictions,
   kDramLineFetches,    // sim memory controller
+  kDramRemoteFetches,  // subset served by a remote package's controller
   kDramWritebacks,
   kDramQueueCycles,
   kMigrations,         // sim OS-scheduler model

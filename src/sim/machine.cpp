@@ -223,6 +223,15 @@ CacheStats* level_stats(MachineCounters& c, int level) {
 double Machine::charge_access(int pu, const Access& a, double t) {
   double cost = 0.0;
   MachineCounters& d = dom(pu);
+  // Home package of this line: the NUMA directory's per-address answer when
+  // one is attached (modulo the package count, so a directory configured
+  // with more domains than the machine has packages still maps sanely),
+  // falling back to the global home_package knob, falling back to "local".
+  int home = config_.spec.memory.home_package;
+  if (config_.numa != nullptr) {
+    const int h = config_.numa->domain_of(a.addr);
+    if (h >= 0) home = h % config_.spec.packages;
+  }
   for (std::size_t li = 0; li < levels_.size(); ++li) {
     Level& lvl = levels_[li];
     const int inst = pu / lvl.spec.pus_per_instance;
@@ -253,8 +262,10 @@ double Machine::charge_access(int pu, const Access& a, double t) {
     }
     if (last_level && r.evicted_dirty) {
       // Write-back occupies the memory controller but does not stall the
-      // thread.
-      const int home = config_.spec.memory.home_package;
+      // thread.  (The evicted line's own home may differ from the fetched
+      // line's; charging the fetch's home keeps the model one-lookup cheap
+      // and is exact whenever eviction victim and fetch target share a
+      // region, the common case for the engine's streaming phases.)
       const int pkg = home >= 0 ? home : config_.spec.pu_to_package(pu);
       const double transfer =
           std::max(lvl.spec.line_bytes / config_.spec.memory.bytes_per_cycle_per_controller,
@@ -267,8 +278,7 @@ double Machine::charge_access(int pu, const Access& a, double t) {
     if (r.hit) return cost;
   }
   // Miss in every level: fetch from DRAM through the serving controller
-  // (the heap's home node when one is modelled).
-  const int home = config_.spec.memory.home_package;
+  // (the line's home node when one is modelled).
   const int this_pkg = config_.spec.pu_to_package(pu);
   const int pkg = home >= 0 ? home : this_pkg;
   const bool remote = home >= 0 && this_pkg != home;
@@ -284,6 +294,10 @@ double Machine::charge_access(int pu, const Access& a, double t) {
   counters_.dram_queue_cycles += queue_delay;
   ++d.dram_line_fetches;
   d.dram_queue_cycles += queue_delay;
+  if (remote) {
+    ++counters_.dram_remote_fetches;
+    ++d.dram_remote_fetches;
+  }
   // The data transfer itself overlaps with the access latency for the
   // requesting thread; only the overlapped latency and any queueing behind
   // earlier transfers stall it.
@@ -607,6 +621,7 @@ perf::CounterSet to_counter_set(const MachineCounters& m) {
   c[Counter::kCacheReferences] = static_cast<double>(m.l3.accesses());
   c[Counter::kCacheMisses] = static_cast<double>(m.l3.misses);
   c[Counter::kDramLineFetches] = static_cast<double>(m.dram_line_fetches);
+  c[Counter::kDramRemoteFetches] = static_cast<double>(m.dram_remote_fetches);
   c[Counter::kDramWritebacks] = static_cast<double>(m.dram_writebacks);
   c[Counter::kDramQueueCycles] = m.dram_queue_cycles;
   c[Counter::kMigrations] = static_cast<double>(m.migrations);

@@ -24,6 +24,7 @@
 #include "perf/trace_ring.hpp"
 #include "sim/access.hpp"
 #include "sim/cache.hpp"
+#include "sim/numa.hpp"
 #include "sim/params.hpp"
 #include "topo/cpuset.hpp"
 #include "topo/machine_spec.hpp"
@@ -33,6 +34,10 @@ namespace mwx::sim {
 struct MachineCounters {
   CacheStats l1, l2, l3;
   long long dram_line_fetches = 0;
+  // Fetches served by a controller on a different package than the
+  // requesting core — each paid remote_latency_factor.  A subset of
+  // dram_line_fetches.
+  long long dram_remote_fetches = 0;
   long long dram_writebacks = 0;
   double dram_queue_cycles = 0.0;     // aggregate queueing delay at controllers
   long long migrations = 0;
@@ -52,6 +57,7 @@ struct MachineCounters {
     l2 += o.l2;
     l3 += o.l3;
     dram_line_fetches += o.dram_line_fetches;
+    dram_remote_fetches += o.dram_remote_fetches;
     dram_writebacks += o.dram_writebacks;
     dram_queue_cycles += o.dram_queue_cycles;
     migrations += o.migrations;
@@ -104,6 +110,11 @@ struct MachineConfig {
   // seconds, so native and simulated traces of the same workload are
   // directly comparable in the chrome://tracing view.
   perf::TraceRing* trace = nullptr;
+  // Optional per-address NUMA home directory.  When set, each DRAM fetch and
+  // writeback is served by the controller of domain_of(addr) % packages
+  // (directory answers of -1 fall back to MemorySpec::home_package), instead
+  // of one global home for the whole heap.  Not owned.
+  const NumaDirectory* numa = nullptr;
 };
 
 class Machine {

@@ -1,0 +1,32 @@
+// NumaDirectory — per-address home-domain lookup for the machine simulator.
+//
+// The baseline memory model has a single knob (MemorySpec::home_package):
+// every DRAM line is homed on one package, which models the JVM pathology
+// where the master thread touches every page during initialization and all
+// of them land on its node.  Real first-touch kernels home each page on the
+// node of the thread that first writes it, so remoteness varies per address.
+// A NumaDirectory supplies that mapping: the machine consults it (when
+// attached via MachineConfig::numa) on every DRAM fetch and writeback to
+// decide which package's controller serves the line and whether the access
+// pays the remote-latency factor.
+//
+// The heap-layout model (md::HeapModel) implements this interface, deriving
+// each region's home from which worker the engine's placement pass would
+// have first-touch it with.
+#pragma once
+
+#include <cstdint>
+
+namespace mwx::sim {
+
+class NumaDirectory {
+ public:
+  virtual ~NumaDirectory() = default;
+
+  // Home package of the line containing `addr`, or -1 when the directory has
+  // no opinion (the machine then falls back to MemorySpec::home_package /
+  // the accessing core's own package).
+  [[nodiscard]] virtual int domain_of(std::uint64_t addr) const = 0;
+};
+
+}  // namespace mwx::sim

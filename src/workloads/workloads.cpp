@@ -305,6 +305,40 @@ MolecularSystem make_lj_gas(int n, double density, double temperature_k, std::ui
   return sys;
 }
 
+MolecularSystem make_lj_coulomb_gas(int n, double density, double temperature_k,
+                                    double charged_fraction, std::uint64_t seed) {
+  require(n > 0 && density > 0.0, "gas needs atoms and a positive density");
+  require(charged_fraction >= 0.0 && charged_fraction <= 1.0,
+          "charged_fraction must be in [0, 1]");
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kAr = types.add({"Ar", 39.95, ev(0.0104), 3.40});
+  const double side = std::cbrt(static_cast<double>(n) / density);
+  Box box{{0, 0, 0}, {side, side, side}};
+  MolecularSystem sys(types, box);
+  const int per_side = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n))));
+  const double spacing = side / per_side;
+  // Even count of charges, alternating sign so the system stays net neutral.
+  int n_charged = static_cast<int>(std::lround(charged_fraction * n));
+  n_charged -= n_charged % 2;
+  std::vector<Site> sites;
+  sites.reserve(static_cast<std::size_t>(n));
+  int placed = 0;
+  for (int iz = 0; iz < per_side && placed < n; ++iz) {
+    for (int iy = 0; iy < per_side && placed < n; ++iy) {
+      for (int ix = 0; ix < per_side && placed < n; ++ix) {
+        const Vec3 p{(ix + 0.5) * spacing, (iy + 0.5) * spacing, (iz + 0.5) * spacing};
+        const double charge =
+            placed < n_charged ? (placed % 2 == 0 ? +1.0 : -1.0) : 0.0;
+        sites.push_back({p, thermal_velocity(rng, 39.95, temperature_k), kAr, charge, true});
+        ++placed;
+      }
+    }
+  }
+  add_sites(sys, sites, rng, /*shuffle_order=*/true);
+  return sys;
+}
+
 MolecularSystem make_chain(int n, std::uint64_t seed) {
   require(n >= 2, "chain needs at least two atoms");
   Rng rng(seed);

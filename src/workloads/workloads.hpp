@@ -49,6 +49,13 @@ BenchmarkSpec make_benchmark(const std::string& name, std::uint64_t seed = 7);
 md::MolecularSystem make_lj_gas(int n, double density, double temperature_k,
                                 std::uint64_t seed);
 
+// Like make_lj_gas, but with atom creation order shuffled (the scene-file
+// idiom above) and a net-neutral +-1e charge pattern on ~`charged_fraction`
+// of the atoms.  This is the raw_speed ablation workload: irregular gathers
+// through both the LJ and Coulomb kernels at once.
+md::MolecularSystem make_lj_coulomb_gas(int n, double density, double temperature_k,
+                                        double charged_fraction, std::uint64_t seed);
+
 // A bonded linear chain of `n` atoms (radial + angular + torsion terms).
 md::MolecularSystem make_chain(int n, std::uint64_t seed);
 

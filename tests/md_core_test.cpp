@@ -265,7 +265,8 @@ TEST(NeighborListTest, FillBeyondDeclaredCountThrows) {
   // CSR rows are sized by the count pass; a fill that appends more than the
   // declared count would overrun the next atom's row.
   NeighborList nl(4, 2.0, 0.5);
-  nl.begin_rebuild({{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}});
+  const std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+  nl.begin_rebuild(pos);
   nl.set_count(0, 2);
   nl.finalize_offsets();
   nl.add_neighbor(0, 1);
@@ -313,7 +314,8 @@ TEST(NeighborListTest, NeverBuiltAlwaysInvalid) {
 
 TEST(NeighborListTest, EntryIndexFollowsCsrOffsets) {
   NeighborList nl(3, 2.0, 0.5);
-  nl.begin_rebuild({{0, 0, 0}, {0.5, 0, 0}, {1, 0, 0}});
+  const std::vector<Vec3> pos{{0, 0, 0}, {0.5, 0, 0}, {1, 0, 0}};
+  nl.begin_rebuild(pos);
   nl.set_count(0, 2);
   nl.set_count(1, 3);
   nl.set_count(2, 1);
@@ -328,7 +330,8 @@ TEST(NeighborListTest, EntryIndexFollowsCsrOffsets) {
 
 TEST(NeighborListTest, TotalEntriesIsFinalizedDuringBuild) {
   NeighborList nl(2, 2.0, 0.5);
-  nl.begin_rebuild({{0, 0, 0}, {1, 0, 0}});
+  const std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}};
+  nl.begin_rebuild(pos);
   nl.set_count(0, 1);
   nl.set_count(1, 0);
   nl.finalize_offsets();
@@ -339,7 +342,8 @@ TEST(NeighborListTest, TotalEntriesIsFinalizedDuringBuild) {
   EXPECT_EQ(*nl.begin(0), 1);
   // A later, emptier rebuild shrinks the total (grow-only storage, exact
   // accounting).
-  nl.begin_rebuild({{0, 0, 0}, {5, 5, 5}});
+  const std::vector<Vec3> pos2{{0, 0, 0}, {5, 5, 5}};
+  nl.begin_rebuild(pos2);
   nl.set_count(0, 0);
   nl.set_count(1, 0);
   nl.finalize_offsets();

@@ -144,6 +144,8 @@ void check_conservation(const sim::Machine& machine) {
               double(sum.l3.dirty_evictions), true);
   check_field("dram_line_fetches", double(g.dram_line_fetches),
               double(sum.dram_line_fetches), true);
+  check_field("dram_remote_fetches", double(g.dram_remote_fetches),
+              double(sum.dram_remote_fetches), true);
   check_field("dram_writebacks", double(g.dram_writebacks), double(sum.dram_writebacks), true);
   check_field("migrations", double(g.migrations), double(sum.migrations), true);
   check_field("steals", double(g.steals), double(sum.steals), true);
