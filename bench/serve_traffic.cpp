@@ -1,0 +1,240 @@
+// bench/serve_traffic.cpp — closed-loop multi-tenant traffic against the
+// mwx::serve scheduler.
+//
+// The work-inflation lesson (Acar et al., PAPERS.md): shared-pool
+// interference must be *measured*, not assumed — so this bench drives the
+// serve layer the way a production fleet would and reports per-tenant
+// latency distributions, not just aggregate throughput.
+//
+// Shape: T tenants × C synthetic clients each, every client a closed loop —
+// submit one job, block on its ticket, record the latency, submit the next.
+// Jobs mix sizes (three scene sizes × three step budgets, round-robin per
+// client) and tenants mix weights (tenant 0 carries fair-share weight 2, the
+// rest weight 1), so the run exercises the scheduler's fair-share picker,
+// the admission-control backoff path and the content-hash scene cache
+// (every client of a tenant group reuses the same three scenes).
+//
+// Correctness gate, same contract as bench/raw_speed: every completed job's
+// final (pe, ke) must be BITWISE equal to the same scene + config run on a
+// dedicated single-engine pool.  Exit status is nonzero on any mismatch —
+// multi-tenant sharing is required to be invisible in the physics.
+//
+// Writes BENCH_serve.json: a "config" group, a "throughput" group
+// (jobs/sec, rejects, retries), one "tenant.<name>" group per tenant with
+// p50/p95/p99/mean latency (ms) and per-tenant jobs/sec, a "cache" group
+// (hit rate) and a "verify" group (energy_bits_match).
+//
+// Usage: serve_traffic [tenants] [clients_per_tenant] [jobs_per_client]
+//                      [pool_threads] [n_pools]
+//   Defaults give 8 × 25 = 200 concurrent clients; CI smoke runs 2 4 2 4.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "md/engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/scheduler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace mwx;
+
+constexpr double kDensity = 0.006;  // atoms/Å^3
+constexpr double kTemperatureK = 300.0;
+constexpr int kJobThreads = 2;  // decomposition width of every job
+
+// The mixed-size job menu: scene sizes × step budgets, cycled per client.
+constexpr int kSceneAtoms[] = {96, 160, 256};
+constexpr int kStepBudgets[] = {12, 24, 48};
+
+struct JobOutcome {
+  std::string tenant;
+  int menu = 0;  // index into the scene/step menu
+  double latency_ms = 0.0;
+  double pe = 0.0;
+  double ke = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int tenants = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int clients_per_tenant = argc > 2 ? std::atoi(argv[2]) : 25;
+  const int jobs_per_client = argc > 3 ? std::atoi(argv[3]) : 3;
+  const int pool_threads = argc > 4 ? std::atoi(argv[4]) : 4;
+  const int n_pools = argc > 5 ? std::atoi(argv[5]) : 1;
+  const int n_clients = tenants * clients_per_tenant;
+
+  // One scene text per menu entry, shared by every tenant and client — the
+  // dedup regime the scene cache exists for.
+  const int n_menu = static_cast<int>(std::size(kSceneAtoms));
+  std::vector<std::string> scenes;
+  for (int m = 0; m < n_menu; ++m) {
+    scenes.push_back(serve::scene_text(
+        workloads::make_lj_gas(kSceneAtoms[m], kDensity, kTemperatureK, 77 + m)));
+  }
+
+  // Dedicated single-engine reference energies per menu entry: the bitwise
+  // ground truth every multi-tenant run must reproduce.
+  std::vector<double> ref_pe(static_cast<std::size_t>(n_menu));
+  std::vector<double> ref_ke(static_cast<std::size_t>(n_menu));
+  for (int m = 0; m < n_menu; ++m) {
+    serve::SceneCache parse_once(1);
+    md::EngineConfig cfg;
+    cfg.n_threads = kJobThreads;
+    md::Engine engine(*parse_once.load(scenes[static_cast<std::size_t>(m)]), cfg);
+    parallel::FixedThreadPool dedicated({.n_threads = kJobThreads});
+    engine.run_native(dedicated, kStepBudgets[m]);
+    ref_pe[static_cast<std::size_t>(m)] = engine.potential_energy();
+    ref_ke[static_cast<std::size_t>(m)] = engine.kinetic_energy();
+    dedicated.shutdown();
+  }
+
+  serve::SchedulerConfig sc;
+  sc.n_pools = n_pools;
+  sc.threads_per_pool = pool_threads;
+  sc.max_drivers = std::max(8, 2 * n_pools);
+  sc.max_queued_total = std::max(64, n_clients);
+  // Admission pressure: cap each tenant well below its client count so the
+  // closed-loop retry path actually runs.
+  sc.default_quota.max_queued = std::max(4, clients_per_tenant / 2);
+  serve::BatchScheduler scheduler(sc);
+  scheduler.set_quota("t0", {.weight = 2.0, .max_queued = sc.default_quota.max_queued});
+
+  std::vector<std::vector<JobOutcome>> outcomes(static_cast<std::size_t>(n_clients));
+  std::atomic<long long> retries{0};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(n_clients));
+  for (int c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const int tenant_idx = c % tenants;
+      const std::string tenant = "t" + std::to_string(tenant_idx);
+      for (int j = 0; j < jobs_per_client; ++j) {
+        const int menu = (c + j) % n_menu;
+        serve::JobRequest req;
+        req.tenant = tenant;
+        req.scene_text = scenes[static_cast<std::size_t>(menu)];
+        req.steps = kStepBudgets[menu];
+        req.n_threads = kJobThreads;
+        std::shared_ptr<serve::JobTicket> ticket;
+        for (;;) {
+          ticket = scheduler.submit(req);
+          ticket->wait();
+          if (ticket->status() != serve::JobStatus::Rejected) break;
+          retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        outcomes[static_cast<std::size_t>(c)].push_back(
+            {tenant, menu, ticket->latency_seconds() * 1e3, ticket->potential_energy(),
+             ticket->kinetic_energy()});
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // --- Verify: every job bitwise equal to its dedicated reference ------------
+  long long jobs_total = 0;
+  long long mismatches = 0;
+  std::map<std::string, std::vector<double>> latency_of_tenant;
+  for (const auto& client : outcomes) {
+    for (const JobOutcome& o : client) {
+      ++jobs_total;
+      latency_of_tenant[o.tenant].push_back(o.latency_ms);
+      const auto m = static_cast<std::size_t>(o.menu);
+      if (o.pe != ref_pe[m] || o.ke != ref_ke[m]) {
+        ++mismatches;
+        std::cerr << "ENERGY MISMATCH tenant=" << o.tenant << " menu=" << o.menu
+                  << std::setprecision(17) << " pe=" << o.pe << " ref=" << ref_pe[m]
+                  << " ke=" << o.ke << " ref=" << ref_ke[m] << "\n";
+      }
+    }
+  }
+
+  const serve::BatchScheduler::Stats stats = scheduler.stats();
+  const long long hits = scheduler.scene_cache().hits();
+  const long long misses = scheduler.scene_cache().misses();
+
+  bench::JsonEmitter json("serve");
+  json.set_provider("native");
+  json.metric("config", "tenants", tenants);
+  json.metric("config", "clients_per_tenant", clients_per_tenant);
+  json.metric("config", "jobs_per_client", jobs_per_client);
+  json.metric("config", "pool_threads", pool_threads);
+  json.metric("config", "n_pools", n_pools);
+  json.metric("config", "max_drivers", sc.max_drivers);
+  json.metric("config", "job_threads", kJobThreads);
+  json.metric("throughput", "jobs_total", static_cast<double>(jobs_total));
+  json.metric("throughput", "elapsed_seconds", elapsed);
+  json.metric("throughput", "jobs_per_sec",
+              elapsed > 0 ? static_cast<double>(jobs_total) / elapsed : 0.0);
+  json.metric("throughput", "rejects", static_cast<double>(stats.rejected));
+  json.metric("throughput", "retries", static_cast<double>(retries.load()));
+  json.metric("throughput", "failed_jobs", static_cast<double>(stats.failed));
+
+  std::cout << "serve_traffic: " << tenants << " tenants x " << clients_per_tenant
+            << " clients x " << jobs_per_client << " jobs, " << pool_threads
+            << " threads x " << n_pools << " pool(s)\n";
+  std::cout << "  " << jobs_total << " jobs in " << std::fixed << std::setprecision(2)
+            << elapsed << " s  (" << static_cast<double>(jobs_total) / elapsed
+            << " jobs/s), " << stats.rejected << " rejected, " << retries.load()
+            << " retries\n";
+  for (auto& [tenant, latencies] : latency_of_tenant) {
+    double sum = 0.0;
+    for (double v : latencies) sum += v;
+    const auto n = static_cast<double>(latencies.size());
+    const double p50 = percentile(latencies, 50.0);
+    const double p95 = percentile(latencies, 95.0);
+    const double p99 = percentile(latencies, 99.0);
+    const std::string group = "tenant." + tenant;
+    const double weight = tenant == "t0" ? 2.0 : 1.0;
+    json.metric(group, "jobs", n);
+    json.metric(group, "weight", weight);
+    json.metric(group, "p50_ms", p50);
+    json.metric(group, "p95_ms", p95);
+    json.metric(group, "p99_ms", p99);
+    json.metric(group, "mean_ms", n > 0 ? sum / n : 0.0);
+    json.metric(group, "jobs_per_sec", elapsed > 0 ? n / elapsed : 0.0);
+    std::cout << "  " << tenant << " (w=" << weight << "): p50 " << p50 << " ms, p95 "
+              << p95 << " ms, p99 " << p99 << " ms over " << latencies.size()
+              << " jobs\n";
+  }
+  json.metric("cache", "hits", static_cast<double>(hits));
+  json.metric("cache", "misses", static_cast<double>(misses));
+  json.metric("cache", "hit_rate",
+              hits + misses > 0
+                  ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                  : 0.0);
+  json.metric("cache", "distinct_scenes", n_menu);
+  json.metric("verify", "energy_bits_match", mismatches == 0 ? 1.0 : 0.0);
+  json.metric("verify", "jobs_checked", static_cast<double>(jobs_total));
+  const std::string path = json.write();
+  std::cout << "  cache: " << hits << " hits / " << misses << " misses\n";
+  std::cout << "  wrote " << path << "\n";
+
+  if (mismatches != 0) {
+    std::cerr << "FAIL: " << mismatches << " jobs diverged from the dedicated-pool "
+              << "reference\n";
+    return 1;
+  }
+  if (jobs_total != static_cast<long long>(n_clients) * jobs_per_client) {
+    std::cerr << "FAIL: expected " << n_clients * jobs_per_client << " jobs, got "
+              << jobs_total << "\n";
+    return 1;
+  }
+  std::cout << "  all job energies bitwise-identical to dedicated-pool references\n";
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: the tier-1 verify (full build + test suite) plus the tsan
 # preset's concurrency suites (StealDeque/ThreadPool/TaskQueue/QueueModes/
-# Latch/Barrier/TraceRing), which pin the lock-free executor paths, the
-# idempotent-shutdown fix and the trace ring's merge-at-read protocol.
+# Latch/Barrier/TraceRing/JobHandle/Reentrancy/Serve/SceneCache), which pin
+# the lock-free executor paths, the idempotent-shutdown fix, the trace ring's
+# merge-at-read protocol and the re-entrant shared-pool/serve stack.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -113,6 +114,47 @@ assert float(pme["scalar_seconds"]) > 0.0 and float(pme["vectorized_seconds"]) >
 print("BENCH_raw_speed.json OK:", len(variants), "variants + pme micro")
 EOF
 rm -rf "${raw_dir}"
+
+echo "== serve smoke: multi-tenant scheduler + traffic emitter =="
+# The simulation-as-a-service acceptance gate.  mwx_serve runs >=8 concurrent
+# jobs from 2 tenants over one shared pool and exits nonzero unless every
+# job's energies are bitwise-identical to a dedicated single-engine pool.
+# serve_traffic then drives a small closed-loop mixed batch (2 tenants x 4
+# clients x 2 jobs, mixed scene/step sizes) and its BENCH_serve.json is
+# schema-validated: per-tenant p50/p95/p99 + throughput, cache stats, and the
+# energy_bits_match verification flag.
+cmake --build --preset default --parallel "${jobs}" --target mwx_serve_cli serve_traffic
+serve_dir=$(mktemp -d)
+(cd "${serve_dir}" && "${repo_root}/build/tools/mwx_serve" Al-1000 8 20 4 2)
+(cd "${serve_dir}" && "${repo_root}/build/bench/serve_traffic" 2 4 2 4 >/dev/null)
+python3 - "${serve_dir}/BENCH_serve.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "serve", doc.get("bench")
+assert doc.get("schema_version") == 2, f"schema_version: {doc.get('schema_version')}"
+assert doc.get("git_sha"), "git_sha missing or empty"
+assert doc.get("provider") == "native", f"provider: {doc.get('provider')}"
+tenants = [k for k in doc if k.startswith("tenant.")]
+assert len(tenants) >= 2, f"expected >=2 tenant groups, got {tenants}"
+for g in tenants:
+    keys = doc[g]
+    for metric in ("jobs", "weight", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+                   "jobs_per_sec"):
+        assert metric in keys, f"{g} missing {metric}"
+    assert float(keys["p50_ms"]) <= float(keys["p95_ms"]) <= float(keys["p99_ms"]), \
+        f"{g} percentiles not monotone"
+th = doc["throughput"]
+assert float(th["jobs_total"]) == 16.0, f"jobs_total: {th['jobs_total']}"
+assert float(th["jobs_per_sec"]) > 0.0
+assert float(th["failed_jobs"]) == 0.0, f"failed jobs: {th['failed_jobs']}"
+cache = doc["cache"]
+assert float(cache["hits"]) + float(cache["misses"]) > 0.0
+assert float(doc["verify"]["energy_bits_match"]) == 1.0, \
+    "shared-pool energies diverged from the dedicated-pool reference"
+print("BENCH_serve.json OK:", len(tenants), "tenant groups, bits match")
+EOF
+rm -rf "${serve_dir}"
 
 echo "== forced-scalar: build + ctest with MWX_AVX2=OFF (scalar preset) =="
 # The bit-identity suites must hold in both ISAs: the vectorized lane loops

@@ -272,27 +272,32 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
   // Native threaded backend.  Tasks sharing an accumulation slot form a
   // chain that executes serially in submission order; only that slot's
   // privatized buffers are written.  Whichever worker runs the chain — and
-  // under WorkStealing that changes run to run — each buffer sees the same
-  // floating-point addition order, so every queue discipline reproduces the
-  // inline result bit for bit.
+  // under WorkStealing, or on a pool shared with other engines, that changes
+  // run to run — each buffer sees the same floating-point addition order, so
+  // every queue discipline and every pool size reproduces the inline result
+  // bit for bit.  Phase completion is tracked by a JobHandle, not the pool's
+  // global counters: other tenants' traffic can neither starve this barrier
+  // nor be waited on by it, and a chain that throws surfaces here (with its
+  // message) instead of hanging the phase.
   std::vector<std::vector<TaskDesc>> chains(static_cast<std::size_t>(n_slots_));
   for (const TaskDesc& t : tasks) {
     chains[static_cast<std::size_t>(t.owner)].push_back(t);
   }
   int n_chains = 0;
   for (const auto& chain : chains) n_chains += chain.empty() ? 0 : 1;
-  parallel::CountDownLatch latch(n_chains);
+  parallel::JobHandle phase_job;
+  const int pool_workers = pool->n_threads();
   // Single mode has one queue, so a placement hint is meaningless; under
   // SharedQueue assignment the engine models exactly that executor.  All
-  // other combinations seed chain i at worker i % N — PerThread runs it
-  // there (the static split), WorkStealing treats it as a preference that
+  // other combinations seed chain i at worker i % pool size — PerThread runs
+  // it there (the static split), WorkStealing treats it as a preference that
   // idle peers may override.
   const bool place = pool->config().queue_mode != parallel::QueueMode::Single &&
                      config_.assignment != sim::Assignment::SharedQueue;
   for (int slot = 0; slot < n_slots_; ++slot) {
     const auto& chain = chains[static_cast<std::size_t>(slot)];
     if (chain.empty()) continue;
-    auto body = [this, &latch, chain, slot, tag] {
+    auto body = [this, chain, slot, tag] {
       const int worker = std::max(0, parallel::FixedThreadPool::current_worker());
       // Phase bracket: one counter-read pair per chain (a chain runs
       // unbroken on one worker), charged to (worker, phase tag).
@@ -324,15 +329,16 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
       if (native_pmu_ != nullptr) {
         native_pmu_->task_end(worker, tag, static_cast<double>(chain.size()));
       }
-      latch.count_down();
     };
     if (place) {
-      pool->submit_to(slot % config_.n_threads, std::move(body));
+      pool->submit_to(slot % pool_workers, std::move(body), phase_job);
     } else {
-      pool->submit(std::move(body));
+      pool->submit(std::move(body), phase_job);
     }
   }
-  latch.await();
+  phase_job.wait();
+  require(phase_job.ok(), "engine phase " + std::to_string(tag) +
+                              " task failed: " + phase_job.error());
   if (native_trace_ != nullptr) {
     // Phase bracket on the master's lane: dispatch to barrier release.
     native_trace_->record(native_trace_->external_lane(), perf::TraceKind::Phase, tag,
@@ -472,25 +478,28 @@ void Engine::place_first_touch(parallel::FixedThreadPool& pool) {
   // themselves) may migrate, which only costs locality, never correctness.
   const int n = sys_.n_atoms();
   const int nt = config_.n_threads;
+  // On a shared pool the engine's logical workers fold onto the pool's
+  // actual workers; placement quality degrades gracefully, correctness
+  // (a bit-for-bit copy) never depends on the mapping.
+  const int pw = pool.n_threads();
 
   // Per-atom state: worker w rewrites the same contiguous 1/N block the
   // static atom-phase split assigns it.
   auto repack = [&](PageVec<Vec3>& v) {
     PageVec<Vec3> fresh;
     fresh.resize_uninitialized(v.size());
-    parallel::CountDownLatch latch(nt);
+    parallel::JobHandle job;
     for (int w = 0; w < nt; ++w) {
-      pool.submit_to(w, [&, w] {
+      pool.submit_to(w % pw, [&, w] {
         const int b = static_cast<int>((static_cast<long long>(n) * w) / nt);
         const int e = static_cast<int>((static_cast<long long>(n) * (w + 1)) / nt);
         if (e > b) {
           std::memcpy(fresh.data() + b, v.data() + b,
                       static_cast<std::size_t>(e - b) * sizeof(Vec3));
         }
-        latch.count_down();
-      });
+      }, job);
     }
-    latch.await();
+    job.wait();
     v = std::move(fresh);
   };
   repack(sys_.positions());
@@ -501,24 +510,32 @@ void Engine::place_first_touch(parallel::FixedThreadPool& pool) {
   // its required all-+0.0 state) by the worker that seeds that slot's task
   // chains.  Only valid between steps, when the buffers are drained.
   std::vector<PageVec<Vec3>> slots(static_cast<std::size_t>(n_slots_));
-  parallel::CountDownLatch latch(n_slots_);
+  parallel::JobHandle slot_job;
   for (int slot = 0; slot < n_slots_; ++slot) {
     slots[static_cast<std::size_t>(slot)].resize_uninitialized(static_cast<std::size_t>(n));
-    pool.submit_to(slot % nt, [&slots, &latch, slot, n] {
+    pool.submit_to(slot % pw, [&slots, slot, n] {
       std::memset(slots[static_cast<std::size_t>(slot)].data(), 0,
                   static_cast<std::size_t>(n) * sizeof(Vec3));
-      latch.count_down();
-    });
+    }, slot_job);
   }
-  latch.await();
+  slot_job.wait();
   for (int slot = 0; slot < n_slots_; ++slot) {
     buffers_.slot_array(slot) = std::move(slots[static_cast<std::size_t>(slot)]);
   }
 }
 
 void Engine::run_native(parallel::FixedThreadPool& pool, int n_steps) {
-  require(pool.n_threads() == config_.n_threads,
-          "pool size must match engine's configured worker count");
+  // Any pool size works (the decomposition and the energy bits are fixed by
+  // config.n_threads, not by the executor) — but per-engine instrumentation
+  // records into lane == executing *pool* worker, so attached rings and
+  // accumulators must cover the pool actually used, which the attach-time
+  // check against config.n_threads cannot see.
+  require(native_trace_ == nullptr || native_trace_->n_lanes() >= pool.n_threads() + 1,
+          "trace ring needs a lane per pool worker plus one external lane");
+  require(native_pmu_ == nullptr || native_pmu_->n_workers() >= pool.n_threads(),
+          "PMU accumulator needs a lane per pool worker");
+  require(native_log_ == nullptr || native_log_->n_threads() >= pool.n_threads(),
+          "event log needs a lane per pool worker");
   if (config_.first_touch && !placed_) {
     place_first_touch(pool);
     placed_ = true;

@@ -136,7 +136,13 @@ class Engine {
   Engine(MolecularSystem sys, EngineConfig config);
 
   // --- Execution -------------------------------------------------------------
-  // Native threads.  The pool must have config.n_threads workers.
+  // Native threads.  The pool may be any size and may be shared with other
+  // engines running concurrently: phase completion is tracked per-phase
+  // through a JobHandle (never pool-global), and the energy bits depend only
+  // on config.n_threads (which fixes the task decomposition and the
+  // accumulation-slot serial chains), never on which — or how many — workers
+  // execute them.  config.n_threads == pool.n_threads() reproduces the
+  // paper's dedicated-pool setup exactly.
   void run_native(parallel::FixedThreadPool& pool, int n_steps);
   // Single-threaded in-process execution (reference / tests).
   void run_inline(int n_steps);
@@ -178,8 +184,12 @@ class Engine {
   void attach_event_log(perf::EventLog* log) { native_log_ = log; }
   // Lock-free trace layer (the corrected Section IV-A design): workers
   // record Task events into lane == worker index, the master records Phase
-  // brackets into the external lane.  The ring needs n_threads + 1 lanes and
-  // may be shared with the pool's attach_trace().  When
+  // brackets into the external lane.  The ring needs one lane per worker of
+  // the pool the engine will run on, plus one external lane — re-checked
+  // against the actual pool in run_native(), since a shared pool may be
+  // larger than config.n_threads.  Per-engine, so N engines sharing a pool
+  // each carry their own ring (the ownership fix: instrumentation is no
+  // longer a single pool-global pointer).  When
   // monitor_updates_per_task > 0 the engine emits that many records per task
   // — the same call-tree depth knob the JaMON path uses — so the self-audit
   // bench can compare the two layers at identical event rates.
@@ -192,10 +202,11 @@ class Engine {
   // per-thread counter reads and the delta charged to (worker, phase tag) —
   // the native twin of the simulator's per-core per-phase attribution.
   // Counter reads happen strictly outside run_task(), so attaching a PMU
-  // cannot perturb the physics (energies stay bit-identical).  Attach either
-  // here or at the pool (FixedThreadPool::attach_pmu), not both with the
-  // same accumulator: the pool's untagged brackets would double-count the
-  // engine's phase-tagged ones.
+  // cannot perturb the physics (energies stay bit-identical).  Per-engine
+  // (needs one lane per worker of the pool, re-checked in run_native());
+  // attach either here or at the pool (FixedThreadPool::attach_pmu), not
+  // both with the same accumulator: the pool's untagged brackets would
+  // double-count the engine's phase-tagged ones.
   void attach_pmu(perf::PmuAccumulator* pmu) {
     require(pmu == nullptr || pmu->n_workers() >= config_.n_threads,
             "PMU accumulator needs a lane per worker");

@@ -1,0 +1,149 @@
+// JobHandle — per-job completion groups for a shared FixedThreadPool.
+//
+// The paper's executor model is one application owning its pools for one
+// run, so the original pool tracked completion globally: quiesce() waited
+// for *every* submission ever made.  A long-running multi-tenant service
+// breaks that in two ways:
+//   * starvation — with a second client continuously submitting,
+//     `submitted_ == completed_` may never hold, so one tenant's drain
+//     blocks forever on another tenant's traffic;
+//   * lost diagnostics — a failing task was only a counter bump, with no
+//     way to tell *whose* job failed or why.
+// A JobHandle scopes both concerns to one logical job: tasks submitted with
+// the handle are counted against that job only, wait() terminates as soon
+// as *this job's* tasks have finished regardless of other traffic, and the
+// first failure (message included) is captured on the handle.
+//
+// Handles are cheap shared references: copy them freely, submit from any
+// thread, wait from any thread.  A handle is reusable — wait() returns when
+// everything submitted *so far* has finished, and more work may be
+// submitted afterwards.
+//
+// Instrumentation is per-job rather than pool-global: attach_trace/
+// attach_pmu on the handle bracket exactly the tasks submitted with it, so
+// N jobs sharing one pool can each carry their own rings/accumulators (the
+// pool-level attach remains for whole-pool audits, but is no longer the
+// only owner).  Attach before the first submission with the handle.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "perf/native_pmu.hpp"
+#include "perf/trace_ring.hpp"
+
+namespace mwx::parallel {
+
+class FixedThreadPool;
+
+namespace detail {
+
+// Shared between every copy of a JobHandle and the wrapped tasks in flight.
+// A plain mutex/cv monitor: submission rates are bounded by the task-queue
+// mutex anyway, and the monitor keeps the accounting trivially race-free
+// (completed_ can never be observed ahead of submitted_).
+struct JobState {
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  long long submitted = 0;
+  long long completed = 0;
+  long long failed = 0;
+  std::string first_error;  // message of the first task that threw
+  // Per-job instrumentation (optional).  Wrapped tasks bracket themselves
+  // with these, independent of any pool-level attachment.
+  perf::TraceRing* trace = nullptr;
+  perf::PmuAccumulator* pmu = nullptr;
+  int tag = 0;  // phase tag charged by the brackets above
+
+  void on_submit() {
+    std::lock_guard lock(mutex);
+    ++submitted;
+  }
+
+  // Undo of on_submit when the pool rejected the push (shutdown race):
+  // the task will never run, so it must not count as pending.
+  void on_revoke() {
+    std::lock_guard lock(mutex);
+    --submitted;
+    if (completed == submitted) cv.notify_all();
+  }
+
+  // `error` is nullptr for success; first failure message wins.
+  void finish(const char* error) {
+    std::lock_guard lock(mutex);
+    ++completed;
+    if (error != nullptr) {
+      ++failed;
+      if (first_error.empty()) first_error = error;
+    }
+    if (completed == submitted) cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+class JobHandle {
+ public:
+  JobHandle() : state_(std::make_shared<detail::JobState>()) {}
+
+  // Blocks until every task submitted with this handle *so far* has
+  // finished (successfully or not).  Unlike FixedThreadPool::quiesce(),
+  // this cannot be starved by other clients of the same pool: only the
+  // job's own counters are consulted.
+  void wait() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [s = state_.get()] { return s->completed == s->submitted; });
+  }
+
+  // True when no task of this job has failed (so far).
+  [[nodiscard]] bool ok() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->failed == 0;
+  }
+
+  [[nodiscard]] long long submitted() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->submitted;
+  }
+
+  [[nodiscard]] long long completed() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->completed;
+  }
+
+  [[nodiscard]] long long failed() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->failed;
+  }
+
+  // Message of the first task that terminated with an exception; empty when
+  // every task (so far) succeeded.
+  [[nodiscard]] std::string error() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->first_error;
+  }
+
+  // Per-job instrumentation: tasks submitted with this handle record Task
+  // events into lane == executing worker (external lane when run inline)
+  // and/or bracket themselves with PMU counter reads charged to
+  // (worker, tag).  The ring/accumulator must be sized for the *pool* the
+  // job runs on (n_threads + 1 lanes / n_threads workers) — checked at
+  // submission.  Attach before the first submission; detach (nullptr) only
+  // after wait().
+  void attach_trace(perf::TraceRing* trace, int tag = 0) {
+    state_->trace = trace;
+    state_->tag = tag;
+  }
+  void attach_pmu(perf::PmuAccumulator* pmu, int tag = 0) {
+    state_->pmu = pmu;
+    state_->tag = tag;
+  }
+
+ private:
+  friend class FixedThreadPool;
+  std::shared_ptr<detail::JobState> state_;
+};
+
+}  // namespace mwx::parallel

@@ -1,6 +1,11 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "common/require.hpp"
 
@@ -42,9 +47,74 @@ void FixedThreadPool::submit(Task task) {
   if (config_.queue_mode != QueueMode::Single) {
     target = t_worker_pool == this
                  ? t_worker_index  // keep locally spawned work on the spawner
-                 : round_robin_.fetch_add(1, std::memory_order_relaxed) % config_.n_threads;
+                 : static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                                    static_cast<std::uint64_t>(config_.n_threads));
   }
   submit_to(target, std::move(task));
+}
+
+namespace {
+// Wraps a task so its completion (and any failure, message included) is
+// recorded on the job, and so the job's per-job instrumentation brackets the
+// execution.  The exception is rethrown after the job is updated, so the
+// pool-level accounting in run_one (failed_, last_error_) still sees it.
+Task wrap_for_job(std::shared_ptr<detail::JobState> state, Task task) {
+  return [state = std::move(state), task = std::move(task)] {
+    perf::TraceRing* trace = state->trace;
+    const double trace_begin = trace != nullptr ? trace->now() : 0.0;
+    if (state->pmu != nullptr) state->pmu->task_begin();
+    std::exception_ptr eptr;
+    std::string message;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      eptr = std::current_exception();
+      message = e.what();
+    } catch (...) {
+      eptr = std::current_exception();
+      message = "unknown exception";
+    }
+    const int worker = FixedThreadPool::current_worker();
+    if (trace != nullptr) {
+      const int lane = worker >= 0 ? worker : trace->external_lane();
+      trace->record(lane, perf::TraceKind::Task, state->tag, trace_begin, trace->now());
+    }
+    if (state->pmu != nullptr) state->pmu->task_end(std::max(0, worker), state->tag);
+    state->finish(eptr ? message.c_str() : nullptr);
+    if (eptr) std::rethrow_exception(eptr);
+  };
+}
+}  // namespace
+
+void FixedThreadPool::submit(Task task, const JobHandle& job) {
+  int target = 0;
+  if (config_.queue_mode != QueueMode::Single) {
+    target = t_worker_pool == this
+                 ? t_worker_index
+                 : static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                                    static_cast<std::uint64_t>(config_.n_threads));
+  }
+  submit_to(target, std::move(task), job);
+}
+
+void FixedThreadPool::submit_to(int worker, Task task, const JobHandle& job) {
+  require(job.state_ != nullptr, "job handle is empty");
+  // The job's instrumentation runs on whichever worker executes the task, so
+  // it must be sized for this pool — same contract as the pool-level attach.
+  require(job.state_->trace == nullptr ||
+              job.state_->trace->n_lanes() >= config_.n_threads + 1,
+          "job trace ring needs a lane per pool worker plus one external lane");
+  require(job.state_->pmu == nullptr || job.state_->pmu->n_workers() >= config_.n_threads,
+          "job PMU accumulator needs a lane per pool worker");
+  job.state_->on_submit();
+  try {
+    submit_to(worker, wrap_for_job(job.state_, std::move(task)));
+  } catch (...) {
+    // Rejected push (shutdown race): the task will never run, so it must not
+    // leave the job waiting.
+    job.state_->on_revoke();
+    throw;
+  }
 }
 
 void FixedThreadPool::submit_to(int worker, Task task) {
@@ -79,26 +149,36 @@ void FixedThreadPool::enqueue(int worker, Task task) {
 }
 
 void FixedThreadPool::run_one(Task task) {
-  const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
-  if (pmu_ != nullptr) pmu_->task_begin();
+  perf::TraceRing* trace = trace_.load(std::memory_order_acquire);
+  perf::PmuAccumulator* pmu = pmu_.load(std::memory_order_acquire);
+  const double trace_begin = trace != nullptr ? trace->now() : 0.0;
+  if (pmu != nullptr) pmu->task_begin();
   try {
     task();
-  } catch (...) {
+  } catch (const std::exception& e) {
     // A throwing task must not kill the worker (the pool outlives any one
-    // task, like an ExecutorService).  The failure is counted and the
-    // pool keeps serving.
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    // task, like an ExecutorService).  The failure is counted, the first
+    // message is kept for last_error(), and the pool keeps serving.
+    note_failure(e.what());
+  } catch (...) {
+    note_failure("unknown exception");
   }
-  if (trace_ != nullptr) {
-    trace_->record(t_worker_index, perf::TraceKind::Task, /*tag=*/0, trace_begin,
-                   trace_->now());
+  if (trace != nullptr) {
+    trace->record(t_worker_index, perf::TraceKind::Task, /*tag=*/0, trace_begin,
+                  trace->now());
   }
-  if (pmu_ != nullptr) pmu_->task_end(t_worker_index, /*phase_tag=*/0);
+  if (pmu != nullptr) pmu->task_end(t_worker_index, /*phase_tag=*/0);
   completed_.fetch_add(1, std::memory_order_release);
   // Lock-then-notify so a quiescing thread between its predicate check and
   // wait() cannot miss the wakeup.
   { std::lock_guard lock(quiesce_mutex_); }
   quiesce_cv_.notify_all();
+}
+
+void FixedThreadPool::note_failure(const char* what) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(error_mutex_);
+  if (last_error_.empty()) last_error_ = what;
 }
 
 void FixedThreadPool::worker_main(int index) {
@@ -141,10 +221,10 @@ void FixedThreadPool::worker_main_stealing(int index) {
         if (!task) task = queues_[victim]->try_pop();
         if (task) {
           steals_.fetch_add(1, std::memory_order_relaxed);
-          if (trace_ != nullptr) {
-            const double now = trace_->now();
-            trace_->record(index, perf::TraceKind::Steal, /*tag=*/0, now, now,
-                           static_cast<int>(victim));
+          if (perf::TraceRing* trace = trace_.load(std::memory_order_acquire)) {
+            const double now = trace->now();
+            trace->record(index, perf::TraceKind::Steal, /*tag=*/0, now, now,
+                          static_cast<int>(victim));
           }
         }
       }
@@ -171,7 +251,8 @@ void FixedThreadPool::worker_main_stealing(int index) {
 }
 
 void FixedThreadPool::quiesce() {
-  const double trace_begin = trace_ != nullptr ? trace_->now() : 0.0;
+  perf::TraceRing* trace = trace_.load(std::memory_order_acquire);
+  const double trace_begin = trace != nullptr ? trace->now() : 0.0;
   {
     std::unique_lock lock(quiesce_mutex_);
     quiesce_cv_.wait(lock, [this] {
@@ -179,9 +260,9 @@ void FixedThreadPool::quiesce() {
              submitted_.load(std::memory_order_acquire);
     });
   }
-  if (trace_ != nullptr) {
-    const int lane = t_worker_pool == this ? t_worker_index : trace_->external_lane();
-    trace_->record(lane, perf::TraceKind::Quiesce, /*tag=*/0, trace_begin, trace_->now());
+  if (trace != nullptr) {
+    const int lane = t_worker_pool == this ? t_worker_index : trace->external_lane();
+    trace->record(lane, perf::TraceKind::Quiesce, /*tag=*/0, trace_begin, trace->now());
   }
 }
 

@@ -18,10 +18,17 @@
 //                               thieves may also raid while the owner is busy.
 // Workers may optionally be pinned to PUs at startup (the JNI
 // sched_setaffinity experiment of Section V-B).
+//
+// The pool is re-entrant: N independent clients (engines, tenants) may
+// submit concurrently and each track completion of its own work through a
+// JobHandle (parallel/job.hpp) — quiesce() remains the single-owner drain.
+// A worker of pool A submitting to pool B is treated as an external caller
+// by B (per-pool thread-locals), so pools compose.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "parallel/affinity.hpp"
+#include "parallel/job.hpp"
 #include "parallel/latch.hpp"
 #include "parallel/steal_deque.hpp"
 #include "parallel/task_queue.hpp"
@@ -73,6 +81,17 @@ class FixedThreadPool {
   // peer.  Throws ContractError after shutdown.
   void submit_to(int worker, Task task);
 
+  // Job-scoped variants: the task is additionally counted against `job`, so
+  // job.wait() terminates when that job's tasks are done — even while other
+  // clients keep the pool busy — and a task that throws records its message
+  // on the handle (and in last_error()) instead of vanishing into a counter.
+  // If the job carries instrumentation (JobHandle::attach_trace/attach_pmu)
+  // the task brackets itself with it, independent of any pool-level
+  // attachment.  These are what make the pool safely shareable between
+  // concurrent engines/tenants.
+  void submit(Task task, const JobHandle& job);
+  void submit_to(int worker, Task task, const JobHandle& job);
+
   // Runs body(i) for i in [0, n) split into one contiguous chunk per worker
   // — the paper's "each thread is assigned a fraction 1/N of the total
   // atoms" distribution — and blocks until all chunks finish.
@@ -92,7 +111,26 @@ class FixedThreadPool {
     latch.await();
   }
 
+  // Job-scoped variant: chunks are tracked by `job` (shared-pool safe, and a
+  // throwing chunk is recorded instead of hanging the barrier).  Blocks via
+  // job.wait(), so any *other* tasks already pending on the same handle are
+  // waited for too.
+  template <typename Body>
+  void run_chunked(int n, Body&& body, const JobHandle& job) {
+    const int workers = config_.n_threads;
+    for (int w = 0; w < workers; ++w) {
+      const int begin = static_cast<int>((static_cast<long long>(n) * w) / workers);
+      const int end = static_cast<int>((static_cast<long long>(n) * (w + 1)) / workers);
+      submit_to(w, [&body, begin, end, w] { body(begin, end, w); }, job);
+    }
+    job.wait();
+  }
+
   // Blocks until every queued task has completed (workers stay alive).
+  // Pool-global: this counts *all* clients' submissions, so with another
+  // client continuously submitting it may never return.  Single-owner pools
+  // (the benches, the original one-app model) use it freely; multi-tenant
+  // callers should wait on their own JobHandle instead.
   void quiesce();
 
   // Stops accepting work, drains queues, joins workers.  Idempotent.
@@ -107,36 +145,61 @@ class FixedThreadPool {
     return failed_.load(std::memory_order_relaxed);
   }
 
+  // Message of the first task exception this pool ever swallowed, "" if
+  // none.  The first message is kept (not the latest): later failures are
+  // usually cascade, the first is the root cause.  Per-job diagnostics live
+  // on the JobHandle; this is the pool-wide backstop for tasks submitted
+  // without one.
+  [[nodiscard]] std::string last_error() const {
+    std::lock_guard lock(error_mutex_);
+    return last_error_;
+  }
+
+  // Test hook: places the round-robin cursor used by submit()'s
+  // PerThread/WorkStealing target choice.  Exists so the 2^31/2^64
+  // wraparound regression tests can reach the wrap point without issuing
+  // billions of submissions (the cursor used to be a signed int whose
+  // fetch_add wrapped negative and made `% n_threads` non-positive).
+  void seed_round_robin(std::uint64_t value) {
+    round_robin_.store(value, std::memory_order_relaxed);
+  }
+
   // Successful steals performed by pool workers (WorkStealing mode only).
   [[nodiscard]] long long steals() const { return steals_.load(std::memory_order_relaxed); }
 
-  // Attaches a lock-free trace ring: workers record Task events into lane
-  // == worker index and Steal/Quiesce events as they happen.  The ring needs
-  // n_threads + 1 lanes (the extra one for external callers).  Attach before
-  // submitting work; detach (nullptr) only after quiesce().
+  // Attaches a pool-wide lock-free trace ring: workers record Task events
+  // into lane == worker index and Steal/Quiesce events as they happen.  The
+  // ring needs n_threads + 1 lanes (the extra one for external callers).
+  // This is a whole-pool audit channel (it sees every client's tasks); a
+  // single tenant sharing the pool should attach its ring to its JobHandle
+  // (or its Engine) instead.  The pointer is atomic, so attaching/detaching
+  // while other clients run is safe — but detach (nullptr) only after *your*
+  // submitted work has drained, or your last events are dropped.
   void attach_trace(perf::TraceRing* trace) {
     require(trace == nullptr || trace->n_lanes() >= config_.n_threads + 1,
             "trace ring needs a lane per worker plus one external lane");
-    trace_ = trace;
+    trace_.store(trace, std::memory_order_release);
   }
 
-  // Attaches a hardware-counter accumulator: every executed task is bracketed
-  // with per-thread counter reads and the delta charged to (worker, tag 0) —
-  // untagged pool work.  Needs one lane per worker.  For phase-tagged
-  // attribution attach the accumulator at the engine instead
-  // (Engine::attach_pmu); never both with the same accumulator, or the pool's
-  // untagged brackets double-count the engine's phase-tagged ones.  Attach
-  // before submitting work; detach (nullptr) only after quiesce().
+  // Attaches a pool-wide hardware-counter accumulator: every executed task is
+  // bracketed with per-thread counter reads and the delta charged to
+  // (worker, tag 0) — untagged pool work, *all* clients included.  Needs one
+  // lane per worker.  For phase-tagged or per-tenant attribution attach the
+  // accumulator at the engine (Engine::attach_pmu) or the job
+  // (JobHandle::attach_pmu) instead; never both levels with the same
+  // accumulator, or the pool's untagged brackets double-count the tagged
+  // ones.  Atomic pointer — same attach/detach rules as attach_trace().
   void attach_pmu(perf::PmuAccumulator* pmu) {
     require(pmu == nullptr || pmu->n_workers() >= config_.n_threads,
             "PMU accumulator needs a lane per worker");
-    pmu_ = pmu;
+    pmu_.store(pmu, std::memory_order_release);
   }
 
  private:
   void worker_main(int index);
   void worker_main_stealing(int index);
   void run_one(Task task);
+  void note_failure(const char* what);
   void enqueue(int worker, Task task);
   TaskQueue& queue_for(int worker);
 
@@ -144,7 +207,10 @@ class FixedThreadPool {
   std::vector<std::unique_ptr<TaskQueue>> queues_;   // Single/PerThread queues; WS inboxes
   std::vector<std::unique_ptr<StealDeque>> deques_;  // WorkStealing mode only
   std::vector<std::thread> threads_;
-  std::atomic<int> round_robin_{0};
+  // Unsigned so the fetch_add wraps to 0 instead of going negative: the old
+  // std::atomic<int> made `% n_threads` non-positive after 2^31 submissions
+  // and submit_to()'s range check killed an otherwise-healthy pool.
+  std::atomic<std::uint64_t> round_robin_{0};
   std::atomic<long long> submitted_{0};
   std::atomic<long long> taken_{0};  // tasks claimed by a worker (WS sleep predicate)
   std::atomic<long long> completed_{0};
@@ -162,8 +228,14 @@ class FixedThreadPool {
   // until the workers are actually joined before returning.
   std::atomic<bool> shutdown_{false};
   std::mutex shutdown_mutex_;
-  perf::TraceRing* trace_ = nullptr;
-  perf::PmuAccumulator* pmu_ = nullptr;
+  // Pool-wide instrumentation.  Atomic: with N clients sharing the pool,
+  // attach/detach must not race task execution into UB (per-job channels
+  // live on the JobHandle instead).
+  std::atomic<perf::TraceRing*> trace_{nullptr};
+  std::atomic<perf::PmuAccumulator*> pmu_{nullptr};
+  // First task-exception message (see last_error()).
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
 };
 
 }  // namespace mwx::parallel

@@ -1,0 +1,192 @@
+// mwx::serve job vocabulary — what a client submits and what it streams back.
+//
+// The ROADMAP's "simulation-as-a-service" shape, in the mold of MPJ
+// Express's runtime daemon: a client hands the scheduler a Job (scene + step
+// budget + decomposition width) and receives a JobTicket, a shared handle it
+// can poll or block on while the scheduler runs the job over the shared
+// worker pools.  Observables stream into the ticket as Samples at the
+// requested cadence; the final energies (and optionally the final scene — a
+// trajectory endpoint that can be resubmitted to continue the run) land on
+// the ticket when the job finishes.
+//
+// Determinism contract: a job's energies are bit-identical to running the
+// same scene + EngineConfig on a dedicated single-engine pool, no matter how
+// many tenants share the pools — the engine's accumulation-slot chains fix
+// the floating-point order by n_threads alone (see md/engine.hpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/access.hpp"
+
+namespace mwx::serve {
+
+enum class JobStatus {
+  Queued,    // accepted, waiting for a driver
+  Running,   // stepping on a shard
+  Done,      // all steps completed; final energies valid
+  Failed,    // a step or the scene parse threw; error() has the message
+  Rejected,  // admission control refused it; never ran
+};
+
+[[nodiscard]] inline const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Done: return "done";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+// One streamed observable record.
+struct Sample {
+  long long step = 0;
+  double pe = 0.0;  // potential energy, engine units
+  double ke = 0.0;  // kinetic energy
+};
+
+struct JobRequest {
+  std::string tenant = "default";  // fair-share / quota bucket
+  // The scene as an .mws document (md/scene_io).  Also the scene-cache key:
+  // scene_io is byte-stable, so identical systems serialize identically and
+  // deduplicate to one parse.
+  std::string scene_text;
+  int steps = 100;
+  // Decomposition width: fixes n_slots and therefore the energy bits.  NOT
+  // the number of threads the job gets — workers are shared property of the
+  // scheduler's pools.
+  int n_threads = 2;
+  int chunks_per_thread = 1;
+  sim::Assignment assignment = sim::Assignment::Static;
+  // Stream (step, pe, ke) every `sample_interval` steps; 0 = final sample
+  // only.
+  int sample_interval = 0;
+  // Stream back the final scene (save_scene of the end state).
+  bool return_scene = false;
+  // Integrator/cutoff parameters (scene files carry geometry, not these).
+  double dt_fs = 2.0;
+  double cutoff = 8.0;
+  double skin = 0.9;
+};
+
+// Shared client/scheduler handle for one submitted job.  Clients hold it as
+// a shared_ptr; every accessor is thread-safe.
+class JobTicket {
+ public:
+  explicit JobTicket(JobRequest request) : request_(std::move(request)) {}
+
+  JobTicket(const JobTicket&) = delete;
+  JobTicket& operator=(const JobTicket&) = delete;
+
+  [[nodiscard]] const JobRequest& request() const { return request_; }
+
+  [[nodiscard]] JobStatus status() const {
+    std::lock_guard lock(mutex_);
+    return status_;
+  }
+
+  // Blocks until the job reaches a terminal state (Done/Failed/Rejected).
+  void wait() const {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] {
+      return status_ == JobStatus::Done || status_ == JobStatus::Failed ||
+             status_ == JobStatus::Rejected;
+    });
+  }
+
+  // Snapshot of the observables streamed so far (monotone in step).
+  [[nodiscard]] std::vector<Sample> samples() const {
+    std::lock_guard lock(mutex_);
+    return samples_;
+  }
+
+  // Final energies — valid once status() == Done.
+  [[nodiscard]] double potential_energy() const {
+    std::lock_guard lock(mutex_);
+    return final_pe_;
+  }
+  [[nodiscard]] double kinetic_energy() const {
+    std::lock_guard lock(mutex_);
+    return final_ke_;
+  }
+  [[nodiscard]] double total_energy() const {
+    std::lock_guard lock(mutex_);
+    return final_pe_ + final_ke_;
+  }
+
+  // Failure / rejection reason ("" otherwise).
+  [[nodiscard]] std::string error() const {
+    std::lock_guard lock(mutex_);
+    return error_;
+  }
+
+  // Final scene text when request().return_scene was set ("" otherwise).
+  [[nodiscard]] std::string final_scene() const {
+    std::lock_guard lock(mutex_);
+    return final_scene_;
+  }
+
+  // Submit-to-terminal latency and submit-to-start queueing delay, seconds.
+  // Valid once terminal (0 for rejected start time).
+  [[nodiscard]] double latency_seconds() const {
+    std::lock_guard lock(mutex_);
+    return latency_seconds_;
+  }
+  [[nodiscard]] double queue_seconds() const {
+    std::lock_guard lock(mutex_);
+    return queue_seconds_;
+  }
+
+ private:
+  friend class BatchScheduler;
+  using Clock = std::chrono::steady_clock;
+
+  void mark_submitted() {
+    std::lock_guard lock(mutex_);
+    submitted_at_ = Clock::now();
+  }
+
+  void mark_running() {
+    std::lock_guard lock(mutex_);
+    status_ = JobStatus::Running;
+    queue_seconds_ = std::chrono::duration<double>(Clock::now() - submitted_at_).count();
+  }
+
+  void push_sample(const Sample& s) {
+    std::lock_guard lock(mutex_);
+    samples_.push_back(s);
+  }
+
+  void finish(JobStatus terminal, double pe, double ke, std::string scene,
+              std::string error) {
+    std::lock_guard lock(mutex_);
+    status_ = terminal;
+    final_pe_ = pe;
+    final_ke_ = ke;
+    final_scene_ = std::move(scene);
+    error_ = std::move(error);
+    latency_seconds_ = std::chrono::duration<double>(Clock::now() - submitted_at_).count();
+    cv_.notify_all();
+  }
+
+  JobRequest request_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  JobStatus status_ = JobStatus::Queued;
+  std::vector<Sample> samples_;
+  double final_pe_ = 0.0;
+  double final_ke_ = 0.0;
+  std::string final_scene_;
+  std::string error_;
+  Clock::time_point submitted_at_ = Clock::now();
+  double latency_seconds_ = 0.0;
+  double queue_seconds_ = 0.0;
+};
+
+}  // namespace mwx::serve

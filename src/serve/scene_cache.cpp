@@ -1,0 +1,66 @@
+#include "serve/scene_cache.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "md/scene_io.hpp"
+
+namespace mwx::serve {
+
+std::string scene_text(const md::MolecularSystem& sys) {
+  std::ostringstream os;
+  md::save_scene(os, sys);
+  return os.str();
+}
+
+std::uint64_t SceneCache::content_hash(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::size_t SceneCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::shared_ptr<const md::MolecularSystem> SceneCache::load(const std::string& text) {
+  const std::uint64_t key = content_hash(text);
+  {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.text == text) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      it->second.stamp = ++clock_;
+      return it->second.system;
+    }
+  }
+
+  // Miss (or collision): parse outside the lock so a slow parse of one scene
+  // never serializes hits on others.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  std::istringstream is(text);
+  auto system = std::make_shared<const md::MolecularSystem>(md::load_scene(is));
+
+  std::lock_guard lock(mutex_);
+  if (max_entries_ == 0) return system;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.text == text) return it->second.system;  // racer beat us
+    return system;  // genuine collision: serve uncached
+  }
+  if (entries_.size() >= max_entries_) {
+    auto oldest = entries_.begin();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      if (e->second.stamp < oldest->second.stamp) oldest = e;
+    }
+    entries_.erase(oldest);
+  }
+  entries_.emplace(key, Entry{text, system, ++clock_});
+  return system;
+}
+
+}  // namespace mwx::serve

@@ -1,0 +1,68 @@
+// Content-hash scene cache — dedup of identical submitted scenes.
+//
+// Traffic against a simulation service is heavily repetitive: many clients
+// resubmit the same scene (parameter sweeps, retries, shared templates).
+// scene_io's .mws output is byte-stable — the same MolecularSystem always
+// serializes to the same bytes — so the scene *text* is a sound dedup key:
+// hash the bytes (FNV-1a 64), parse once per distinct content, and hand
+// every subsequent submission a shared pointer to the same immutable parsed
+// system.  Jobs copy the system into their Engine (the engine integrates in
+// place), so cached entries are never mutated.
+//
+// Collisions are handled, not assumed away: an entry stores the full text
+// and a hash hit with different bytes is treated as a miss (parsed fresh,
+// not cached — a 2^-64 event not worth a chained map).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "md/system.hpp"
+
+namespace mwx::serve {
+
+// Serializes `sys` to its canonical .mws text (the cache key form).
+[[nodiscard]] std::string scene_text(const md::MolecularSystem& sys);
+
+class SceneCache {
+ public:
+  // `max_entries` bounds the cache; the oldest-touched entry is evicted
+  // (0 disables caching entirely — every load parses).
+  explicit SceneCache(std::size_t max_entries = 64) : max_entries_(max_entries) {}
+
+  SceneCache(const SceneCache&) = delete;
+  SceneCache& operator=(const SceneCache&) = delete;
+
+  // Returns the parsed system for this scene text, parsing at most once per
+  // distinct content (thread-safe; concurrent first loads of the same text
+  // may both parse, last insert wins — wasted work, never wrong results).
+  // Throws ContractError on malformed scene text.
+  std::shared_ptr<const md::MolecularSystem> load(const std::string& text);
+
+  // FNV-1a 64-bit over the scene bytes.
+  [[nodiscard]] static std::uint64_t content_hash(const std::string& text);
+
+  [[nodiscard]] long long hits() const { return hits_.load(std::memory_order_relaxed); }
+  [[nodiscard]] long long misses() const { return misses_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string text;  // full content, for collision verification
+    std::shared_ptr<const md::MolecularSystem> system;
+    std::uint64_t stamp = 0;  // LRU clock value of the last touch
+  };
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+};
+
+}  // namespace mwx::serve

@@ -1,0 +1,236 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/require.hpp"
+#include "md/engine.hpp"
+
+namespace mwx::serve {
+
+BatchScheduler::BatchScheduler(SchedulerConfig config)
+    : config_(config), cache_(config.scene_cache_entries) {
+  require(config_.n_pools > 0, "scheduler needs at least one pool");
+  require(config_.threads_per_pool > 0, "pools need at least one thread");
+  require(config_.max_drivers > 0, "scheduler needs at least one driver");
+  require(config_.max_queued_total > 0, "global admission cap must be positive");
+  pools_.reserve(static_cast<std::size_t>(config_.n_pools));
+  for (int p = 0; p < config_.n_pools; ++p) {
+    pools_.push_back(std::make_unique<parallel::FixedThreadPool>(parallel::ThreadPoolConfig{
+        .n_threads = config_.threads_per_pool,
+        .queue_mode = config_.queue_mode,
+        .pin_masks = {},
+        .name_prefix = "mwx-serve-" + std::to_string(p)}));
+  }
+  shard_running_.assign(static_cast<std::size_t>(config_.n_pools), 0);
+  paused_ = config_.start_paused;
+  drivers_.reserve(static_cast<std::size_t>(config_.max_drivers));
+  for (int d = 0; d < config_.max_drivers; ++d) {
+    drivers_.emplace_back([this] { driver_main(); });
+  }
+}
+
+BatchScheduler::~BatchScheduler() { stop(); }
+
+double BatchScheduler::job_cost(const JobRequest& request) {
+  // Work proxy: steps × scene bytes.  The .mws text is ~one line per atom,
+  // so bytes ∝ atoms and cost ∝ steps × atoms — close enough to true work
+  // for fair-share purposes without parsing at admission time.
+  return static_cast<double>(request.steps) *
+         static_cast<double>(std::max<std::size_t>(1, request.scene_text.size()));
+}
+
+std::shared_ptr<JobTicket> BatchScheduler::submit(JobRequest request) {
+  auto reject = [this](JobRequest req, const std::string& why) {
+    auto ticket = std::make_shared<JobTicket>(std::move(req));
+    ticket->mark_submitted();
+    ticket->finish(JobStatus::Rejected, 0.0, 0.0, "", why);
+    std::lock_guard lock(mutex_);
+    ++stats_.rejected;
+    return ticket;
+  };
+
+  if (request.scene_text.empty()) return reject(std::move(request), "empty scene");
+  if (request.steps <= 0) return reject(std::move(request), "steps must be positive");
+  if (request.n_threads <= 0 || request.chunks_per_thread <= 0) {
+    return reject(std::move(request), "decomposition width must be positive");
+  }
+  if (request.sample_interval < 0) {
+    return reject(std::move(request), "sample_interval must be non-negative");
+  }
+
+  auto ticket = std::make_shared<JobTicket>(std::move(request));
+  ticket->mark_submitted();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      ticket->finish(JobStatus::Rejected, 0.0, 0.0, "", "scheduler is stopping");
+      ++stats_.rejected;
+      return ticket;
+    }
+    auto [it, inserted] = tenants_.try_emplace(ticket->request().tenant);
+    Tenant& tenant = it->second;
+    if (inserted) tenant.quota = config_.default_quota;
+    if (queued_total_ >= config_.max_queued_total) {
+      ticket->finish(JobStatus::Rejected, 0.0, 0.0, "", "global queue full");
+      ++stats_.rejected;
+      return ticket;
+    }
+    if (static_cast<int>(tenant.queue.size()) >= tenant.quota.max_queued) {
+      ticket->finish(JobStatus::Rejected, 0.0, 0.0, "", "tenant queue full");
+      ++stats_.rejected;
+      return ticket;
+    }
+    // A tenant going from idle to backlogged joins at the current virtual
+    // clock: it competes fairly from now on but cannot spend an idle period
+    // as hoarded credit.
+    if (tenant.queue.empty()) tenant.vtime = std::max(tenant.vtime, vclock_);
+    tenant.queue.push_back(ticket);
+    ++queued_total_;
+    ++stats_.accepted;
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+void BatchScheduler::set_quota(const std::string& tenant, TenantQuota quota) {
+  require(quota.weight > 0.0, "tenant weight must be positive");
+  require(quota.max_queued > 0, "tenant admission cap must be positive");
+  std::lock_guard lock(mutex_);
+  tenants_.try_emplace(tenant).first->second.quota = quota;
+}
+
+void BatchScheduler::start() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void BatchScheduler::drain() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queued_total_ == 0 && running_ == 0; });
+}
+
+void BatchScheduler::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && drivers_.empty()) return;
+    stopping_ = true;
+    paused_ = false;  // a paused scheduler still owes its accepted jobs
+  }
+  cv_.notify_all();
+  {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queued_total_ == 0 && running_ == 0; });
+  }
+  std::vector<std::thread> drivers;
+  {
+    std::lock_guard lock(mutex_);
+    drivers.swap(drivers_);
+  }
+  for (auto& d : drivers) {
+    if (d.joinable()) d.join();
+  }
+  for (auto& pool : pools_) pool->shutdown();
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::shared_ptr<JobTicket> BatchScheduler::pick_job_locked(int* shard_out) {
+  Tenant* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant.queue.empty()) continue;
+    if (best == nullptr || tenant.vtime < best->vtime) best = &tenant;
+  }
+  if (best == nullptr) return nullptr;
+  std::shared_ptr<JobTicket> job = std::move(best->queue.front());
+  best->queue.pop_front();
+  --queued_total_;
+  vclock_ = best->vtime;
+  best->vtime += job_cost(job->request()) / best->quota.weight;
+
+  int shard = 0;
+  for (int p = 1; p < config_.n_pools; ++p) {
+    if (shard_running_[static_cast<std::size_t>(p)] <
+        shard_running_[static_cast<std::size_t>(shard)]) {
+      shard = p;
+    }
+  }
+  ++shard_running_[static_cast<std::size_t>(shard)];
+  ++running_;
+  *shard_out = shard;
+  return job;
+}
+
+void BatchScheduler::driver_main() {
+  for (;;) {
+    std::shared_ptr<JobTicket> job;
+    int shard = 0;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] {
+        return (!paused_ && queued_total_ > 0) || (stopping_ && queued_total_ == 0);
+      });
+      if (queued_total_ == 0) return;  // stopping and fully drained
+      job = pick_job_locked(&shard);
+      if (job == nullptr) continue;
+      job->mark_running();
+    }
+
+    run_job(*job, shard);
+
+    {
+      std::lock_guard lock(mutex_);
+      --shard_running_[static_cast<std::size_t>(shard)];
+      --running_;
+      if (job->status() == JobStatus::Done) {
+        ++stats_.completed;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    idle_cv_.notify_all();
+    // A queued job may have been waiting for this driver slot.
+    cv_.notify_one();
+  }
+}
+
+void BatchScheduler::run_job(JobTicket& job, int shard) {
+  const JobRequest& req = job.request();
+  try {
+    const std::shared_ptr<const md::MolecularSystem> cached = cache_.load(req.scene_text);
+
+    md::EngineConfig cfg;
+    cfg.n_threads = req.n_threads;
+    cfg.chunks_per_thread = req.chunks_per_thread;
+    cfg.assignment = req.assignment;
+    cfg.dt_fs = req.dt_fs;
+    cfg.cutoff = req.cutoff;
+    cfg.skin = req.skin;
+    md::Engine engine(*cached, cfg);  // private copy; the cache stays immutable
+
+    parallel::FixedThreadPool& pool = *pools_[static_cast<std::size_t>(shard)];
+    const int interval = req.sample_interval > 0 ? req.sample_interval : req.steps;
+    int done = 0;
+    while (done < req.steps) {
+      const int slice = std::min(interval, req.steps - done);
+      engine.run_native(pool, slice);
+      done += slice;
+      job.push_sample({engine.steps_done(), engine.potential_energy(),
+                       engine.kinetic_energy()});
+    }
+    job.finish(JobStatus::Done, engine.potential_energy(), engine.kinetic_energy(),
+               req.return_scene ? scene_text(engine.system()) : "", "");
+  } catch (const std::exception& e) {
+    job.finish(JobStatus::Failed, 0.0, 0.0, "", e.what());
+  } catch (...) {
+    job.finish(JobStatus::Failed, 0.0, 0.0, "", "unknown exception");
+  }
+}
+
+}  // namespace mwx::serve

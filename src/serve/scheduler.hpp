@@ -1,0 +1,138 @@
+// BatchScheduler — the multi-tenant job server over the re-entrant engine.
+//
+// Architecture (the MPJ-Express daemon shape over the paper's executor):
+//
+//   clients ── submit(JobRequest) ──► per-tenant FIFO queues ──┐
+//                                                              │ fair-share
+//   driver threads (max_drivers) ◄── pick_tenant() ◄───────────┘ pick
+//        │ run one job end to end:
+//        │   SceneCache::load (content-hash dedup)
+//        │   Engine(copy of cached system, job's config)
+//        │   engine.run_native(shard pool, slice) per sample interval
+//        ▼
+//   1..n_pools FixedThreadPools (shards) — shared by every concurrent job;
+//   per-phase completion rides JobHandles, so tenants cannot starve or
+//   corrupt each other (the re-entrancy refactor this layer required).
+//
+// Fairness is start-time fair queueing over a virtual clock: each tenant
+// accumulates virtual time  cost / weight  per dispatched job (cost ∝ steps
+// × scene bytes, a proxy for steps × atoms), and the driver always serves
+// the backlogged tenant with the smallest virtual time — a weight-2 tenant
+// receives ~2× the work of a weight-1 tenant under contention, and an idle
+// tenant re-enters at the current clock (no hoarded credit).
+//
+// Admission control is per-tenant and global queue caps: a submission over
+// either cap is returned as a Rejected ticket immediately (closed-loop
+// clients back off and retry), so a misbehaving tenant cannot grow the
+// queues without bound or crowd out others' admission.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "serve/job.hpp"
+#include "serve/scene_cache.hpp"
+
+namespace mwx::serve {
+
+struct TenantQuota {
+  double weight = 1.0;   // fair-share weight (2.0 = twice the service rate)
+  int max_queued = 64;   // admission cap on this tenant's queued jobs
+};
+
+struct SchedulerConfig {
+  // Worker-pool shards.  Jobs are placed on the shard with the fewest
+  // running jobs at dispatch time.
+  int n_pools = 1;
+  int threads_per_pool = 4;
+  parallel::QueueMode queue_mode = parallel::QueueMode::WorkStealing;
+  // Concurrently running jobs (driver threads).  Each running job occupies
+  // one driver for its full duration; queued jobs wait.
+  int max_drivers = 4;
+  // Global admission cap across all tenants' queues.
+  int max_queued_total = 256;
+  TenantQuota default_quota;
+  std::size_t scene_cache_entries = 64;
+  // When true the drivers idle until start() — lets tests (and batch
+  // clients) enqueue a full workload and observe a deterministic fair-share
+  // dispatch order.
+  bool start_paused = false;
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(SchedulerConfig config = {});
+
+  // Drains: completes every accepted job, then joins drivers and pools.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  // Admission + enqueue.  Always returns a ticket; check status() —
+  // Rejected tickets (over quota, invalid request, stopping scheduler)
+  // never run and carry the reason in error().
+  std::shared_ptr<JobTicket> submit(JobRequest request);
+
+  // Sets a tenant's fair-share weight and admission cap (takes effect for
+  // subsequent dispatch/admission decisions).
+  void set_quota(const std::string& tenant, TenantQuota quota);
+
+  // Releases the drivers of a start_paused scheduler (no-op otherwise).
+  void start();
+
+  // Blocks until every job accepted so far has reached a terminal state.
+  void drain();
+
+  // Stops accepting (new submissions are Rejected), completes every
+  // already-accepted job, joins drivers.  Idempotent; called by ~.
+  void stop();
+
+  struct Stats {
+    long long accepted = 0;
+    long long rejected = 0;
+    long long completed = 0;  // Done
+    long long failed = 0;     // Failed
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const SceneCache& scene_cache() const { return cache_; }
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct Tenant {
+    TenantQuota quota;
+    std::deque<std::shared_ptr<JobTicket>> queue;
+    double vtime = 0.0;  // virtual time consumed / weight
+  };
+
+  void driver_main();
+  // Serves the backlogged tenant with minimum virtual time; requires lock.
+  std::shared_ptr<JobTicket> pick_job_locked(int* shard_out);
+  void run_job(JobTicket& job, int shard);
+  [[nodiscard]] static double job_cost(const JobRequest& request);
+
+  SchedulerConfig config_;
+  SceneCache cache_;
+  std::vector<std::unique_ptr<parallel::FixedThreadPool>> pools_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;       // drivers wait here for work/stop
+  std::condition_variable idle_cv_;  // drain()/stop() wait here
+  std::map<std::string, Tenant> tenants_;  // ordered: deterministic vtime ties
+  std::vector<int> shard_running_;
+  int queued_total_ = 0;
+  int running_ = 0;
+  double vclock_ = 0.0;  // vtime of the most recent dispatch
+  bool paused_ = false;
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace mwx::serve

@@ -336,11 +336,21 @@ TEST(EngineTest, ChunkCountDoesNotChangeTraceRuntimeMuch) {
   EXPECT_NEAR(coarse, fine, coarse * 0.25);
 }
 
-TEST(EngineTest, PoolSizeMismatchRejected) {
+TEST(EngineTest, PoolSizeMismatchAcceptedNatively) {
+  // The re-entrancy contract: run_native takes a pool of ANY size (shared
+  // pools are the point) and the energy bits depend only on config.n_threads.
   auto sys = workloads::make_lj_gas(50, 0.01, 100.0, 1);
-  Engine eng(std::move(sys), base_config(2));
+  Engine matched(sys, base_config(2));
+  parallel::FixedThreadPool dedicated({.n_threads = 2});
+  matched.run_native(dedicated, 3);
+
+  Engine eng(sys, base_config(2));
   parallel::FixedThreadPool pool({.n_threads = 3});
-  EXPECT_THROW(eng.run_native(pool, 1), ContractError);
+  eng.run_native(pool, 3);
+  EXPECT_EQ(eng.potential_energy(), matched.potential_energy());
+  EXPECT_EQ(eng.kinetic_energy(), matched.kinetic_energy());
+
+  // The simulated path still models a machine of exactly n_threads cores.
   sim::Machine machine = make_machine(4);
   EXPECT_THROW(eng.run_simulated(machine, 1), ContractError);
 }

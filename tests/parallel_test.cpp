@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -408,6 +410,162 @@ TEST(AffinityTest, EmptyMaskFails) { EXPECT_FALSE(pin_current_thread(topo::CpuSe
 
 TEST(AffinityTest, NonexistentPuFails) {
   EXPECT_FALSE(pin_current_thread(topo::CpuSet::of({200})));
+}
+
+// --- round-robin wraparound regressions --------------------------------------
+// The cursor was std::atomic<int>: after 2^31 submissions fetch_add wrapped
+// negative, `% n_threads` went non-positive, and submit_to's range check
+// killed the pool mid-run.  seed_round_robin() plants the cursor just short
+// of the old wrap point so a handful of submissions crosses it.
+
+TEST(ThreadPoolTest, RoundRobinSurvivesInt32Wrap) {
+  FixedThreadPool pool({.n_threads = 3, .queue_mode = QueueMode::PerThread});
+  pool.seed_round_robin((1ull << 31) - 2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&] { ++ran; });
+  pool.quiesce();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.failed_tasks(), 0);
+}
+
+TEST(ThreadPoolTest, RoundRobinSurvivesUint64Wrap) {
+  FixedThreadPool pool({.n_threads = 3, .queue_mode = QueueMode::WorkStealing});
+  pool.seed_round_robin(std::numeric_limits<std::uint64_t>::max() - 2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&] { ++ran; });
+  pool.quiesce();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(pool.failed_tasks(), 0);
+}
+
+// --- failure diagnostics ------------------------------------------------------
+
+TEST(ThreadPoolTest, LastErrorKeepsFirstFailureMessage) {
+  FixedThreadPool pool({.n_threads = 1});
+  EXPECT_EQ(pool.last_error(), "");
+  pool.submit([] { throw std::runtime_error("root cause"); });
+  pool.quiesce();
+  pool.submit([] { throw std::runtime_error("cascade"); });
+  pool.quiesce();
+  EXPECT_EQ(pool.failed_tasks(), 2);
+  EXPECT_EQ(pool.last_error(), "root cause");
+}
+
+TEST(ThreadPoolTest, NonStdExceptionFailureIsRecorded) {
+  FixedThreadPool pool({.n_threads = 1});
+  pool.submit([] { throw 42; });
+  pool.quiesce();
+  EXPECT_EQ(pool.failed_tasks(), 1);
+  EXPECT_EQ(pool.last_error(), "unknown exception");
+}
+
+// --- JobHandle: per-job completion, errors, isolation -------------------------
+
+TEST(JobHandleTest, TracksOwnSubmissionsOnly) {
+  FixedThreadPool pool({.n_threads = 2, .queue_mode = QueueMode::WorkStealing});
+  JobHandle job;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&] { ++ran; }, job);
+  job.wait();
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(job.submitted(), 10);
+  EXPECT_EQ(job.completed(), 10);
+  EXPECT_EQ(job.failed(), 0);
+  EXPECT_TRUE(job.ok());
+  EXPECT_EQ(job.error(), "");
+}
+
+TEST(JobHandleTest, FailurePropagatesFirstMessage) {
+  FixedThreadPool pool({.n_threads = 2});
+  JobHandle job;
+  pool.submit([] { throw std::runtime_error("job-level failure"); }, job);
+  pool.submit([] {}, job);
+  job.wait();
+  EXPECT_FALSE(job.ok());
+  EXPECT_EQ(job.failed(), 1);
+  EXPECT_EQ(job.completed(), 2);  // failed tasks still complete the job
+  EXPECT_EQ(job.error(), "job-level failure");
+  // The pool-wide backstop sees it too.
+  pool.quiesce();
+  EXPECT_EQ(pool.failed_tasks(), 1);
+  EXPECT_EQ(pool.last_error(), "job-level failure");
+}
+
+// The quiesce() starvation fix: one client's wait must terminate while a
+// second client keeps the shared pool continuously busy.  (JobHandle.wait()
+// counts only its own tasks; pool.quiesce() counts everyone's and would spin
+// here until the churner stops.)
+TEST(JobHandleTest, WaitTerminatesWhileAnotherClientKeepsSubmitting) {
+  FixedThreadPool pool({.n_threads = 2, .queue_mode = QueueMode::WorkStealing});
+  std::atomic<bool> churn{true};
+  std::thread churner([&] {
+    JobHandle background;
+    while (churn.load(std::memory_order_relaxed)) {
+      pool.submit([] { std::this_thread::yield(); }, background);
+      std::this_thread::yield();
+    }
+    background.wait();
+  });
+
+  // The foreground tenant's job must finish despite the endless background
+  // stream — this deadlocked by construction when phases used quiesce().
+  for (int round = 0; round < 20; ++round) {
+    JobHandle job;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) pool.submit([&] { ++ran; }, job);
+    job.wait();
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_TRUE(job.ok());
+  }
+  churn.store(false);
+  churner.join();
+  pool.quiesce();
+}
+
+TEST(JobHandleTest, RunChunkedJobOverloadCoversRange) {
+  FixedThreadPool pool({.n_threads = 3, .queue_mode = QueueMode::PerThread});
+  JobHandle job;
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_chunked(
+      100, [&](int begin, int end, int) {
+        for (int i = begin; i < end; ++i) ++hits[static_cast<std::size_t>(i)];
+      },
+      job);
+  EXPECT_TRUE(job.ok());
+  EXPECT_EQ(job.completed(), 3);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Pools compose: a worker of pool A submitting a job to pool B and waiting
+// on it must not deadlock (B's workers are independent of A's).
+TEST(JobHandleTest, NestedCrossPoolSubmissionCompletes) {
+  FixedThreadPool pool_a({.n_threads = 2, .queue_mode = QueueMode::WorkStealing});
+  FixedThreadPool pool_b({.n_threads = 2, .queue_mode = QueueMode::WorkStealing});
+  JobHandle outer;
+  std::atomic<int> inner_ran{0};
+  pool_a.submit(
+      [&] {
+        JobHandle inner;
+        for (int i = 0; i < 4; ++i) pool_b.submit([&] { ++inner_ran; }, inner);
+        inner.wait();
+        EXPECT_TRUE(inner.ok());
+      },
+      outer);
+  outer.wait();
+  EXPECT_TRUE(outer.ok());
+  EXPECT_EQ(inner_ran.load(), 4);
+}
+
+TEST_P(QueueModes, JobScopedSubmitToRunsEverywhere) {
+  FixedThreadPool pool({.n_threads = 3, .queue_mode = GetParam()});
+  JobHandle job;
+  std::atomic<int> ran{0};
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 5; ++i) pool.submit_to(w, [&] { ++ran; }, job);
+  }
+  job.wait();
+  EXPECT_EQ(ran.load(), 15);
+  EXPECT_TRUE(job.ok());
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// Engine/pool re-entrancy: N engines sharing one FixedThreadPool must
+// produce exactly the energies each would produce on a dedicated pool.
+//
+// This is the determinism contract the serve layer is built on: an engine's
+// floating-point order is fixed by its own config.n_threads (accumulation-
+// slot serial chains), never by the pool's size or by who else is running —
+// so the assertions here are bitwise EXPECT_EQ on doubles, not tolerances.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "md/engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mwx {
+namespace {
+
+struct EnergyPair {
+  double pe = 0.0;
+  double ke = 0.0;
+};
+
+md::EngineConfig small_config() {
+  md::EngineConfig cfg;
+  cfg.n_threads = 2;
+  return cfg;
+}
+
+// Reference: the scene run to `steps` on its own dedicated pool.
+EnergyPair dedicated_run(const md::MolecularSystem& sys, const md::EngineConfig& cfg,
+                         int steps, parallel::QueueMode mode) {
+  md::Engine engine(sys, cfg);
+  parallel::FixedThreadPool pool({.n_threads = cfg.n_threads, .queue_mode = mode});
+  engine.run_native(pool, steps);
+  return {engine.potential_energy(), engine.kinetic_energy()};
+}
+
+class ReentrancyModes : public ::testing::TestWithParam<parallel::QueueMode> {};
+
+// Two engines interleaved on one shared pool, driven from two client
+// threads at once, vs each on a dedicated pool.
+TEST_P(ReentrancyModes, TwoEnginesSharingOnePoolAreBitIdentical) {
+  const parallel::QueueMode mode = GetParam();
+  const md::MolecularSystem sys_a = workloads::make_lj_gas(64, 0.006, 300.0, 123);
+  const md::MolecularSystem sys_b = workloads::make_lj_coulomb_gas(48, 0.005, 250.0, 0.25, 321);
+  const md::EngineConfig cfg = small_config();
+  constexpr int kSteps = 25;
+
+  const EnergyPair ref_a = dedicated_run(sys_a, cfg, kSteps, mode);
+  const EnergyPair ref_b = dedicated_run(sys_b, cfg, kSteps, mode);
+
+  // Shared pool larger than either engine's decomposition width — the
+  // pre-refactor code required pool size == n_threads and would throw here.
+  parallel::FixedThreadPool shared({.n_threads = 4, .queue_mode = mode});
+  md::Engine engine_a(sys_a, cfg);
+  md::Engine engine_b(sys_b, cfg);
+  std::thread client_a([&] {
+    for (int s = 0; s < kSteps; ++s) engine_a.run_native(shared, 1);
+  });
+  std::thread client_b([&] {
+    for (int s = 0; s < kSteps; ++s) engine_b.run_native(shared, 1);
+  });
+  client_a.join();
+  client_b.join();
+
+  EXPECT_EQ(engine_a.potential_energy(), ref_a.pe);
+  EXPECT_EQ(engine_a.kinetic_energy(), ref_a.ke);
+  EXPECT_EQ(engine_b.potential_energy(), ref_b.pe);
+  EXPECT_EQ(engine_b.kinetic_energy(), ref_b.ke);
+}
+
+// Same engine config run back-to-back on a shared pool must also reproduce
+// itself — re-entrancy includes sequential reuse without pool state leaking
+// from the previous tenant.
+TEST_P(ReentrancyModes, SequentialReuseLeaksNoState) {
+  const parallel::QueueMode mode = GetParam();
+  const md::MolecularSystem sys = workloads::make_lj_gas(64, 0.006, 300.0, 99);
+  const md::EngineConfig cfg = small_config();
+  constexpr int kSteps = 20;
+
+  parallel::FixedThreadPool shared({.n_threads = 3, .queue_mode = mode});
+  EnergyPair first;
+  {
+    md::Engine engine(sys, cfg);
+    engine.run_native(shared, kSteps);
+    first = {engine.potential_energy(), engine.kinetic_energy()};
+  }
+  // A different tenant dirties the pool in between.
+  {
+    md::Engine other(workloads::make_lj_gas(32, 0.004, 200.0, 7), cfg);
+    other.run_native(shared, 10);
+  }
+  md::Engine engine(sys, cfg);
+  engine.run_native(shared, kSteps);
+  EXPECT_EQ(engine.potential_energy(), first.pe);
+  EXPECT_EQ(engine.kinetic_energy(), first.ke);
+}
+
+// The stress shape the scheduler creates: more concurrent engines than pool
+// workers, all stepping at once.
+TEST_P(ReentrancyModes, ManyEnginesOversubscribeOnePool) {
+  const parallel::QueueMode mode = GetParam();
+  const md::MolecularSystem sys = workloads::make_lj_gas(48, 0.005, 300.0, 55);
+  const md::EngineConfig cfg = small_config();
+  constexpr int kSteps = 15;
+  constexpr int kEngines = 6;
+
+  const EnergyPair ref = dedicated_run(sys, cfg, kSteps, mode);
+
+  parallel::FixedThreadPool shared({.n_threads = 2, .queue_mode = mode});
+  std::vector<std::unique_ptr<md::Engine>> engines;
+  for (int e = 0; e < kEngines; ++e) engines.push_back(std::make_unique<md::Engine>(sys, cfg));
+  std::vector<std::thread> clients;
+  for (int e = 0; e < kEngines; ++e) {
+    clients.emplace_back([&, e] { engines[static_cast<std::size_t>(e)]->run_native(shared, kSteps); });
+  }
+  for (auto& c : clients) c.join();
+  for (const auto& engine : engines) {
+    EXPECT_EQ(engine->potential_energy(), ref.pe);
+    EXPECT_EQ(engine->kinetic_energy(), ref.ke);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueueModes, ReentrancyModes,
+                         ::testing::Values(parallel::QueueMode::Single,
+                                           parallel::QueueMode::PerThread,
+                                           parallel::QueueMode::WorkStealing));
+
+}  // namespace
+}  // namespace mwx
