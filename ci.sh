@@ -117,15 +117,19 @@ rm -rf "${raw_dir}"
 
 echo "== serve smoke: multi-tenant scheduler + traffic emitter =="
 # The simulation-as-a-service acceptance gate.  mwx_serve runs >=8 concurrent
-# jobs from 2 tenants over one shared pool and exits nonzero unless every
-# job's energies are bitwise-identical to a dedicated single-engine pool.
-# serve_traffic then drives a small closed-loop mixed batch (2 tenants x 4
-# clients x 2 jobs, mixed scene/step sizes) and its BENCH_serve.json is
-# schema-validated: per-tenant p50/p95/p99 + throughput, cache stats, and the
-# energy_bits_match verification flag.
+# jobs from 2 tenants over one shared pool — once uninterrupted and once with
+# preempt_slice=7 so every job is checkpointed and resumed mid-run — and
+# exits nonzero unless every job's energies are bitwise-identical to a
+# dedicated single-engine pool.  serve_traffic then drives a closed-loop
+# mixed batch (2 tenants x 4 clients x 2 jobs) through BOTH scheduler phases
+# (fair-share vs preempt+deadline) and its BENCH_serve.json is
+# schema-validated: per-phase per-tenant p50/p95/p99, preemption counters,
+# deadline hit rate, sample-ring drops, cache stats, and the
+# energy_bits_match verification flag covering preempted jobs.
 cmake --build --preset default --parallel "${jobs}" --target mwx_serve_cli serve_traffic
 serve_dir=$(mktemp -d)
 (cd "${serve_dir}" && "${repo_root}/build/tools/mwx_serve" Al-1000 8 20 4 2)
+(cd "${serve_dir}" && "${repo_root}/build/tools/mwx_serve" Al-1000 8 20 4 2 7)
 (cd "${serve_dir}" && "${repo_root}/build/bench/serve_traffic" 2 4 2 4 >/dev/null)
 python3 - "${serve_dir}/BENCH_serve.json" <<'EOF'
 import json, sys
@@ -135,24 +139,39 @@ assert doc["bench"] == "serve", doc.get("bench")
 assert doc.get("schema_version") == 2, f"schema_version: {doc.get('schema_version')}"
 assert doc.get("git_sha"), "git_sha missing or empty"
 assert doc.get("provider") == "native", f"provider: {doc.get('provider')}"
-tenants = [k for k in doc if k.startswith("tenant.")]
-assert len(tenants) >= 2, f"expected >=2 tenant groups, got {tenants}"
-for g in tenants:
-    keys = doc[g]
-    for metric in ("jobs", "weight", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
-                   "jobs_per_sec"):
-        assert metric in keys, f"{g} missing {metric}"
-    assert float(keys["p50_ms"]) <= float(keys["p95_ms"]) <= float(keys["p99_ms"]), \
-        f"{g} percentiles not monotone"
+for phase in ("fairshare", "preempt"):
+    tenants = [k for k in doc if k.startswith(phase + ".tenant.")]
+    assert len(tenants) >= 2, f"expected >=2 {phase} tenant groups, got {tenants}"
+    for g in tenants:
+        keys = doc[g]
+        for metric in ("jobs", "weight", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+                       "jobs_per_sec"):
+            assert metric in keys, f"{g} missing {metric}"
+        assert float(keys["p50_ms"]) <= float(keys["p95_ms"]) <= float(keys["p99_ms"]), \
+            f"{g} percentiles not monotone"
+assert float(doc["fairshare.sched"]["preemptions"]) == 0.0, \
+    "fair-share phase must not preempt"
+assert float(doc["preempt.sched"]["preemptions"]) > 0.0, \
+    "preempt phase never preempted a bulk job"
 th = doc["throughput"]
-assert float(th["jobs_total"]) == 16.0, f"jobs_total: {th['jobs_total']}"
+assert float(th["jobs_total"]) == 32.0, f"jobs_total: {th['jobs_total']}"
 assert float(th["jobs_per_sec"]) > 0.0
 assert float(th["failed_jobs"]) == 0.0, f"failed jobs: {th['failed_jobs']}"
+dl = doc["deadline"]
+assert float(dl["jobs"]) > 0.0, "preempt phase submitted no deadline jobs"
+assert 0.0 <= float(dl["hit_rate"]) <= 1.0
+assert float(doc["samples"]["dropped_total"]) > 0.0, \
+    "bulk jobs should overflow the bounded sample ring"
+comp = doc["compare"]
+assert "small_p99_fairshare_ms" in comp and "small_p99_preempt_ms" in comp
 cache = doc["cache"]
 assert float(cache["hits"]) + float(cache["misses"]) > 0.0
 assert float(doc["verify"]["energy_bits_match"]) == 1.0, \
     "shared-pool energies diverged from the dedicated-pool reference"
-print("BENCH_serve.json OK:", len(tenants), "tenant groups, bits match")
+assert float(doc["verify"]["preempted_jobs_checked"]) > 0.0, \
+    "no preempted-and-resumed job was verified"
+print("BENCH_serve.json OK: both phases, preempted jobs bit-checked,"
+      " deadline hit rate", doc["deadline"]["hit_rate"])
 EOF
 rm -rf "${serve_dir}"
 

@@ -567,4 +567,34 @@ void Engine::compute_forces_only() {
   last_pe_ = buffers_.drain_pe();
 }
 
+void Engine::restore_continuation(std::span<const Vec3> ref_positions) {
+  require(static_cast<int>(ref_positions.size()) == sys_.n_atoms(),
+          "restore_continuation needs one reference position per atom");
+  require(config_.reorder_interval == 0,
+          "restore_continuation requires reorder_interval == 0");
+  require(!nlist_.ever_built(), "restore_continuation must run before any step");
+
+  // Snapshot the checkpointed per-atom state, rebuild the neighbor list at
+  // the reference positions (compute_forces_only clobbers accelerations and
+  // last_pe_ as a side effect), then put the checkpointed state back.
+  const std::size_t n = static_cast<std::size_t>(sys_.n_atoms());
+  std::vector<Vec3> pos(n), acc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = sys_.positions()[i];
+    acc[i] = sys_.accelerations()[i];
+  }
+  const double pe = last_pe_;
+  const double ke = last_ke_;
+
+  for (std::size_t i = 0; i < n; ++i) sys_.positions()[i] = ref_positions[i];
+  compute_forces_only();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sys_.positions()[i] = pos[i];
+    sys_.accelerations()[i] = acc[i];
+  }
+  last_pe_ = pe;
+  last_ke_ = ke;
+}
+
 }  // namespace mwx::md

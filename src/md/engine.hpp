@@ -25,6 +25,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "md/cell_grid.hpp"
@@ -153,6 +154,21 @@ class Engine {
   // Computes forces/energies at the current positions without integrating
   // (rebuilds the neighbor list unconditionally).  Used by tests/examples.
   void compute_forces_only();
+
+  // Resumes a checkpoint bit-exactly.  Call once, on a freshly constructed
+  // engine whose system carries checkpointed positions/velocities/
+  // accelerations (an "mws 2" scene), with `ref_positions` the checkpointed
+  // neighbor list's reference snapshot in internal index order.  The engine
+  // rebuilds its cell grid and CSR neighbor list *from the reference
+  // snapshot* — the list is a pure function of those positions, so its
+  // contents and row order (hence force-accumulation order) match the
+  // checkpointed engine's exactly; rebuilding from the current positions
+  // instead would reorder the accumulation and diverge the trajectory —
+  // then restores the checkpointed per-atom state, leaving the next step's
+  // validity check measuring drift against the original reference points.
+  // Requires reorder_interval == 0 (a Morton pass would permute state on a
+  // rebuild-count schedule the resumed engine cannot replay).
+  void restore_continuation(std::span<const Vec3> ref_positions);
 
   // --- State & observables -----------------------------------------------------
   [[nodiscard]] const MolecularSystem& system() const { return sys_; }

@@ -9,8 +9,9 @@
 
 namespace mwx::md {
 
-void save_scene(std::ostream& os, const MolecularSystem& sys) {
-  os << "mws 1\n";
+namespace {
+
+void save_scene_body(std::ostream& os, const MolecularSystem& sys) {
   os << std::setprecision(17);
   const Box& box = sys.box();
   os << "box " << box.lo.x << ' ' << box.lo.y << ' ' << box.lo.z << ' ' << box.hi.x << ' '
@@ -47,7 +48,32 @@ void save_scene(std::ostream& os, const MolecularSystem& sys) {
   }
 }
 
-MolecularSystem load_scene(std::istream& is) {
+}  // namespace
+
+void save_scene(std::ostream& os, const MolecularSystem& sys) {
+  os << "mws 1\n";
+  save_scene_body(os, sys);
+}
+
+void save_checkpoint_scene(std::ostream& os, const MolecularSystem& sys,
+                           std::span<const Vec3> nlist_ref) {
+  require(static_cast<int>(nlist_ref.size()) == sys.n_atoms(),
+          "checkpoint needs one neighbor reference position per atom");
+  os << "mws 2\n";
+  save_scene_body(os, sys);
+  // Checkpoint records, external-ID order like every per-atom record above.
+  for (int ext = 0; ext < sys.n_atoms(); ++ext) {
+    const std::size_t i = static_cast<std::size_t>(sys.index_of_external(ext));
+    const Vec3& a = sys.accelerations()[i];
+    os << "acc " << a.x << ' ' << a.y << ' ' << a.z << '\n';
+  }
+  for (int ext = 0; ext < sys.n_atoms(); ++ext) {
+    const Vec3& r = nlist_ref[static_cast<std::size_t>(sys.index_of_external(ext))];
+    os << "nref " << r.x << ' ' << r.y << ' ' << r.z << '\n';
+  }
+}
+
+MolecularSystem load_scene(std::istream& is, std::vector<Vec3>* nlist_ref) {
   std::string line;
   int line_no = 0;
   auto fail = [&](const std::string& why) {
@@ -59,6 +85,9 @@ MolecularSystem load_scene(std::istream& is) {
   AtomTypeTable types;
   std::optional<MolecularSystem> sys;
   bool header_seen = false;
+  int version = 0;
+  std::size_t n_acc = 0;
+  std::vector<Vec3> refs;
 
   // Atom records must come after box+types; the system is constructed
   // lazily at the first atom/bond line.
@@ -78,9 +107,25 @@ MolecularSystem load_scene(std::istream& is) {
     std::string kind;
     in >> kind;
     if (kind == "mws") {
-      int version = 0;
-      if (!(in >> version) || version != 1) fail("unsupported scene version");
+      if (!(in >> version) || (version != 1 && version != 2)) {
+        fail("unsupported scene version");
+      }
       header_seen = true;
+    } else if (kind == "acc") {
+      if (version != 2) fail("checkpoint record 'acc' in a version-1 scene");
+      Vec3 a;
+      if (!(in >> a.x >> a.y >> a.z)) fail("malformed acc");
+      MolecularSystem& s = ensure_system();
+      if (n_acc >= static_cast<std::size_t>(s.n_atoms())) fail("more acc records than atoms");
+      s.accelerations()[n_acc++] = a;
+    } else if (kind == "nref") {
+      if (version != 2) fail("checkpoint record 'nref' in a version-1 scene");
+      Vec3 r;
+      if (!(in >> r.x >> r.y >> r.z)) fail("malformed nref");
+      if (refs.size() >= static_cast<std::size_t>(ensure_system().n_atoms())) {
+        fail("more nref records than atoms");
+      }
+      refs.push_back(r);
     } else if (kind == "box") {
       Box b;
       if (!(in >> b.lo.x >> b.lo.y >> b.lo.z >> b.hi.x >> b.hi.y >> b.hi.z)) {
@@ -140,6 +185,16 @@ MolecularSystem load_scene(std::istream& is) {
     line_no = 0;
     fail("scene contains no atoms");
   }
+  const auto n_atoms = static_cast<std::size_t>(sys->n_atoms());
+  if (n_acc != 0 && n_acc != n_atoms) {
+    line_no = 0;
+    fail("checkpoint has fewer acc records than atoms");
+  }
+  if (!refs.empty() && refs.size() != n_atoms) {
+    line_no = 0;
+    fail("checkpoint has fewer nref records than atoms");
+  }
+  if (nlist_ref != nullptr) *nlist_ref = std::move(refs);
   return std::move(*sys);
 }
 

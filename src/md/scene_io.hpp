@@ -16,21 +16,45 @@
 //
 // Lines beginning with '#' are comments.  Numbers are written with full
 // round-trip precision.
+//
+// Version 2 ("mws 2") is the *checkpoint* form: the same records plus one
+// `acc <ax> <ay> <az>` and one `nref <x> <y> <z>` line per atom (in atom
+// order).  `acc` carries the velocity-Verlet acceleration state — the
+// predictor of the step after a restart consumes a(t), so restarting from
+// positions and velocities alone is never bit-exact — and `nref` carries the
+// neighbor list's reference-position snapshot, from which a restarted engine
+// rebuilds the *exact* list (contents and row order) the checkpointed engine
+// was using; rebuilding from current positions instead reorders force
+// accumulation and diverges the trajectory (see Engine::restore_continuation).
+// A v2 scene loaded as a plain scene (no nref receiver) is a valid ordinary
+// starting point: accelerations are applied, the nref snapshot is dropped.
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "md/system.hpp"
 
 namespace mwx::md {
 
-// Writes `sys` in .mws form.
+// Writes `sys` in .mws form (version 1 — no checkpoint records; byte-stable).
 void save_scene(std::ostream& os, const MolecularSystem& sys);
 
-// Parses an .mws stream; throws ContractError with a line number on
-// malformed input.
-MolecularSystem load_scene(std::istream& is);
+// Writes `sys` as an "mws 2" checkpoint: version-1 records plus per-atom
+// acc/nref lines.  `nlist_ref` is the neighbor list's reference-position
+// snapshot in *internal* index order (NeighborList::reference_positions());
+// like every per-atom record it is written in external-ID order, so the
+// checkpoint text is byte-stable across Morton reorders.
+void save_checkpoint_scene(std::ostream& os, const MolecularSystem& sys,
+                           std::span<const Vec3> nlist_ref);
+
+// Parses an .mws stream (version 1 or 2); throws ContractError with a line
+// number on malformed input.  When `nlist_ref` is non-null it receives the
+// v2 nref snapshot (empty for v1 / plain v2 scenes); checkpoints written by
+// save_checkpoint_scene always carry exactly one acc and one nref per atom.
+MolecularSystem load_scene(std::istream& is, std::vector<Vec3>* nlist_ref = nullptr);
 
 // File-path conveniences.
 void save_scene_file(const std::string& path, const MolecularSystem& sys);

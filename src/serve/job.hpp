@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -69,6 +70,11 @@ struct JobRequest {
   int sample_interval = 0;
   // Stream back the final scene (save_scene of the end state).
   bool return_scene = false;
+  // Latency SLO: the job should reach a terminal state within `deadline_ms`
+  // of submission.  0 = no deadline.  Under SchedMode::Deadline the
+  // scheduler orders deadline jobs earliest-deadline-first; in every mode
+  // the ticket's deadline_missed() reports whether the SLO held.
+  double deadline_ms = 0.0;
   // Integrator/cutoff parameters (scene files carry geometry, not these).
   double dt_fs = 2.0;
   double cutoff = 8.0;
@@ -100,10 +106,44 @@ class JobTicket {
     });
   }
 
-  // Snapshot of the observables streamed so far (monotone in step).
+  // Snapshot of the observables streamed so far (monotone in step).  When a
+  // sample cap is set (BatchScheduler does), this is a ring of the most
+  // recent samples; samples_dropped() counts evictions.
   [[nodiscard]] std::vector<Sample> samples() const {
     std::lock_guard lock(mutex_);
-    return samples_;
+    return {samples_.begin(), samples_.end()};
+  }
+
+  // Samples evicted from the ring because the cap was reached.
+  [[nodiscard]] long long samples_dropped() const {
+    std::lock_guard lock(mutex_);
+    return samples_dropped_;
+  }
+
+  // Times this job was checkpointed and re-enqueued mid-run (0 when the
+  // scheduler ran it in one dispatch).
+  [[nodiscard]] long long preemptions() const {
+    std::lock_guard lock(mutex_);
+    return preemptions_;
+  }
+
+  // Steps integrated so far (request().steps once Done).
+  [[nodiscard]] long long steps_completed() const {
+    std::lock_guard lock(mutex_);
+    return steps_completed_;
+  }
+
+  // True once terminal if request().deadline_ms was set and the job reached
+  // its terminal state after the deadline.
+  [[nodiscard]] bool deadline_missed() const {
+    std::lock_guard lock(mutex_);
+    return deadline_missed_;
+  }
+
+  // Pool shard of the most recent dispatch (-1 before the first).
+  [[nodiscard]] int shard() const {
+    std::lock_guard lock(mutex_);
+    return shard_;
   }
 
   // Final energies — valid once status() == Done.
@@ -150,17 +190,59 @@ class JobTicket {
   void mark_submitted() {
     std::lock_guard lock(mutex_);
     submitted_at_ = Clock::now();
+    if (request_.deadline_ms > 0.0) {
+      deadline_at_ = submitted_at_ +
+                     std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(request_.deadline_ms));
+    }
   }
 
-  void mark_running() {
+  // Cap on retained samples (0 = unbounded); set by the scheduler before the
+  // ticket is shared, never changed after.
+  void set_sample_cap(std::size_t cap) {
+    std::lock_guard lock(mutex_);
+    sample_cap_ = cap;
+  }
+
+  void mark_running(int shard) {
     std::lock_guard lock(mutex_);
     status_ = JobStatus::Running;
-    queue_seconds_ = std::chrono::duration<double>(Clock::now() - submitted_at_).count();
+    shard_ = shard;
+    // Queue delay is submit-to-*first*-start; continuations re-entering the
+    // queue after a preemption don't reset it.
+    if (!started_) {
+      started_ = true;
+      queue_seconds_ = std::chrono::duration<double>(Clock::now() - submitted_at_).count();
+    }
   }
 
   void push_sample(const Sample& s) {
     std::lock_guard lock(mutex_);
+    if (sample_cap_ > 0 && samples_.size() >= sample_cap_) {
+      samples_.pop_front();
+      ++samples_dropped_;
+    }
     samples_.push_back(s);
+  }
+
+  // Preemption: the job leaves its driver mid-run.  `checkpoint` is the
+  // "mws 2" text the continuation dispatch restores from; `steps_ran` is the
+  // quantum just completed.  Status returns to Queued — the caller re-enqueues
+  // the same ticket.
+  void record_preemption(std::string checkpoint, long long steps_ran) {
+    std::lock_guard lock(mutex_);
+    status_ = JobStatus::Queued;
+    checkpoint_text_ = std::move(checkpoint);
+    steps_completed_ += steps_ran;
+    ++preemptions_;
+  }
+
+  // Checkpoint of the most recent preemption ("" before the first).  Only
+  // the driver that dequeued the job reads it, so the reference is stable
+  // while the dispatch runs.
+  [[nodiscard]] const std::string& checkpoint_text() const {
+    std::lock_guard lock(mutex_);
+    return checkpoint_text_;
   }
 
   void finish(JobStatus terminal, double pe, double ke, std::string scene,
@@ -171,7 +253,13 @@ class JobTicket {
     final_ke_ = ke;
     final_scene_ = std::move(scene);
     error_ = std::move(error);
-    latency_seconds_ = std::chrono::duration<double>(Clock::now() - submitted_at_).count();
+    if (terminal == JobStatus::Done) steps_completed_ = request_.steps;
+    checkpoint_text_.clear();  // terminal tickets drop their checkpoint
+    const Clock::time_point now = Clock::now();
+    latency_seconds_ = std::chrono::duration<double>(now - submitted_at_).count();
+    if (request_.deadline_ms > 0.0 && terminal != JobStatus::Rejected) {
+      deadline_missed_ = now > deadline_at_;
+    }
     cv_.notify_all();
   }
 
@@ -179,12 +267,24 @@ class JobTicket {
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;
   JobStatus status_ = JobStatus::Queued;
-  std::vector<Sample> samples_;
+  std::deque<Sample> samples_;
+  std::size_t sample_cap_ = 0;
+  long long samples_dropped_ = 0;
+  long long preemptions_ = 0;
+  long long steps_completed_ = 0;
+  int shard_ = -1;
+  bool started_ = false;
+  bool deadline_missed_ = false;
+  std::string checkpoint_text_;
   double final_pe_ = 0.0;
   double final_ke_ = 0.0;
   std::string final_scene_;
   std::string error_;
   Clock::time_point submitted_at_ = Clock::now();
+  // Absolute deadline; written once in mark_submitted() (before the ticket
+  // is shared) and immutable after — the scheduler's EDF pick reads it
+  // without taking the ticket lock.
+  Clock::time_point deadline_at_ = Clock::time_point::max();
   double latency_seconds_ = 0.0;
   double queue_seconds_ = 0.0;
 };

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "md/engine.hpp"
 #include "md/scene_io.hpp"
 
 namespace mwx::serve {
@@ -10,6 +11,13 @@ namespace mwx::serve {
 std::string scene_text(const md::MolecularSystem& sys) {
   std::ostringstream os;
   md::save_scene(os, sys);
+  return os.str();
+}
+
+std::string checkpoint_text(const md::Engine& engine) {
+  std::ostringstream os;
+  md::save_checkpoint_scene(os, engine.system(),
+                            engine.neighbor_list().reference_positions());
   return os.str();
 }
 
@@ -27,39 +35,56 @@ std::size_t SceneCache::size() const {
   return entries_.size();
 }
 
+void SceneCache::set_parse_hook(std::function<void()> hook) {
+  std::lock_guard lock(mutex_);
+  parse_hook_ = std::move(hook);
+}
+
 std::shared_ptr<const md::MolecularSystem> SceneCache::load(const std::string& text) {
   const std::uint64_t key = content_hash(text);
+  std::function<void()> hook;
   {
     std::lock_guard lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second.text == text) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      it->second.stamp = ++clock_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.system;
     }
+    hook = parse_hook_;
   }
 
-  // Miss (or collision): parse outside the lock so a slow parse of one scene
-  // never serializes hits on others.
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Probable miss (or collision): parse outside the lock so a slow parse of
+  // one scene never serializes hits on others.  The hit/miss verdict waits
+  // for the re-lock — a concurrent loader may insert this exact content
+  // while we parse, and that outcome is a hit (the cache served the request;
+  // this thread's parse was wasted work, not a cache miss).
+  if (hook) hook();
   std::istringstream is(text);
   auto system = std::make_shared<const md::MolecularSystem>(md::load_scene(is));
 
   std::lock_guard lock(mutex_);
-  if (max_entries_ == 0) return system;
+  if (max_entries_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return system;
+  }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    if (it->second.text == text) return it->second.system;  // racer beat us
+    if (it->second.text == text) {  // racer beat us: the cache resolved it
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.system;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return system;  // genuine collision: serve uncached
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (entries_.size() >= max_entries_) {
-    auto oldest = entries_.begin();
-    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
-      if (e->second.stamp < oldest->second.stamp) oldest = e;
-    }
-    entries_.erase(oldest);
+    entries_.erase(lru_.back());
+    lru_.pop_back();
   }
-  entries_.emplace(key, Entry{text, system, ++clock_});
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{text, system, lru_.begin()});
   return system;
 }
 

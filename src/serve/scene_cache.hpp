@@ -12,10 +12,18 @@
 // Collisions are handled, not assumed away: an entry stores the full text
 // and a hash hit with different bytes is treated as a miss (parsed fresh,
 // not cached — a 2^-64 event not worth a chained map).
+//
+// Stats discipline: hit/miss is resolved where the outcome is *known* — a
+// concurrent loader that finds a racer already inserted its entry counts a
+// hit (the cache served the parse, even if this thread wasted one), and only
+// a genuine collision or a fresh insert counts a miss.  Eviction is O(1) via
+// an intrusive LRU list (the cache sits on the serve dispatch hot path).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,14 +31,24 @@
 
 #include "md/system.hpp"
 
+namespace mwx::md {
+class Engine;
+}  // namespace mwx::md
+
 namespace mwx::serve {
 
 // Serializes `sys` to its canonical .mws text (the cache key form).
 [[nodiscard]] std::string scene_text(const md::MolecularSystem& sys);
 
+// Serializes a running engine's full continuation state to "mws 2"
+// checkpoint text: scene + accelerations + the neighbor list's
+// reference-position snapshot.  Restoring (load_scene with an nref receiver
+// + Engine::restore_continuation) resumes the trajectory bit-exactly.
+[[nodiscard]] std::string checkpoint_text(const md::Engine& engine);
+
 class SceneCache {
  public:
-  // `max_entries` bounds the cache; the oldest-touched entry is evicted
+  // `max_entries` bounds the cache; the least-recently-used entry is evicted
   // (0 disables caching entirely — every load parses).
   explicit SceneCache(std::size_t max_entries = 64) : max_entries_(max_entries) {}
 
@@ -39,7 +57,7 @@ class SceneCache {
 
   // Returns the parsed system for this scene text, parsing at most once per
   // distinct content (thread-safe; concurrent first loads of the same text
-  // may both parse, last insert wins — wasted work, never wrong results).
+  // may both parse, first insert wins — wasted work, never wrong results).
   // Throws ContractError on malformed scene text.
   std::shared_ptr<const md::MolecularSystem> load(const std::string& text);
 
@@ -50,17 +68,23 @@ class SceneCache {
   [[nodiscard]] long long misses() const { return misses_.load(std::memory_order_relaxed); }
   [[nodiscard]] std::size_t size() const;
 
+  // Test hook: runs after a miss's parse, before the insert re-locks — the
+  // window a concurrent loader can win.  Tests use it to exercise the
+  // racer-beat-us path deterministically.
+  void set_parse_hook(std::function<void()> hook);
+
  private:
   struct Entry {
     std::string text;  // full content, for collision verification
     std::shared_ptr<const md::MolecularSystem> system;
-    std::uint64_t stamp = 0;  // LRU clock value of the last touch
+    std::list<std::uint64_t>::iterator lru_it;  // position in lru_
   };
 
   std::size_t max_entries_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> entries_;
-  std::uint64_t clock_ = 0;
+  std::list<std::uint64_t> lru_;  // front = most recent, back = eviction victim
+  std::function<void()> parse_hook_;
   std::atomic<long long> hits_{0};
   std::atomic<long long> misses_{0};
 };

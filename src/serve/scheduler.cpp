@@ -1,10 +1,13 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <sstream>
 #include <utility>
 
 #include "common/require.hpp"
 #include "md/engine.hpp"
+#include "md/scene_io.hpp"
 
 namespace mwx::serve {
 
@@ -14,6 +17,7 @@ BatchScheduler::BatchScheduler(SchedulerConfig config)
   require(config_.threads_per_pool > 0, "pools need at least one thread");
   require(config_.max_drivers > 0, "scheduler needs at least one driver");
   require(config_.max_queued_total > 0, "global admission cap must be positive");
+  require(config_.preempt_slice_steps >= 0, "preempt_slice_steps must be non-negative");
   pools_.reserve(static_cast<std::size_t>(config_.n_pools));
   for (int p = 0; p < config_.n_pools; ++p) {
     pools_.push_back(std::make_unique<parallel::FixedThreadPool>(parallel::ThreadPoolConfig{
@@ -22,7 +26,7 @@ BatchScheduler::BatchScheduler(SchedulerConfig config)
         .pin_masks = {},
         .name_prefix = "mwx-serve-" + std::to_string(p)}));
   }
-  shard_running_.assign(static_cast<std::size_t>(config_.n_pools), 0);
+  shard_cost_.assign(static_cast<std::size_t>(config_.n_pools), 0.0);
   paused_ = config_.start_paused;
   drivers_.reserve(static_cast<std::size_t>(config_.max_drivers));
   for (int d = 0; d < config_.max_drivers; ++d) {
@@ -32,11 +36,13 @@ BatchScheduler::BatchScheduler(SchedulerConfig config)
 
 BatchScheduler::~BatchScheduler() { stop(); }
 
-double BatchScheduler::job_cost(const JobRequest& request) {
-  // Work proxy: steps × scene bytes.  The .mws text is ~one line per atom,
-  // so bytes ∝ atoms and cost ∝ steps × atoms — close enough to true work
-  // for fair-share purposes without parsing at admission time.
-  return static_cast<double>(request.steps) *
+double BatchScheduler::slice_cost(const JobRequest& request, int quantum) {
+  // Work proxy: quantum steps × scene bytes.  The .mws text is ~one line per
+  // atom, so bytes ∝ atoms and cost ∝ steps × atoms — close enough to true
+  // work for fair-share and shard-balance purposes without parsing at
+  // dispatch time.  Charged per quantum, so a preempted job pays for the
+  // slice it ran, not its full length up front.
+  return static_cast<double>(quantum) *
          static_cast<double>(std::max<std::size_t>(1, request.scene_text.size()));
 }
 
@@ -58,8 +64,12 @@ std::shared_ptr<JobTicket> BatchScheduler::submit(JobRequest request) {
   if (request.sample_interval < 0) {
     return reject(std::move(request), "sample_interval must be non-negative");
   }
+  if (request.deadline_ms < 0.0) {
+    return reject(std::move(request), "deadline_ms must be non-negative");
+  }
 
   auto ticket = std::make_shared<JobTicket>(std::move(request));
+  ticket->set_sample_cap(config_.max_samples_per_job);
   ticket->mark_submitted();
   {
     std::lock_guard lock(mutex_);
@@ -109,6 +119,14 @@ void BatchScheduler::start() {
 }
 
 void BatchScheduler::drain() {
+  {
+    std::lock_guard lock(mutex_);
+    // Wake-and-run: drain() promises completion of every accepted job, and
+    // paused drivers never pick work — waiting on them with a non-empty
+    // queue deadlocked here before this release was added.
+    paused_ = false;
+  }
+  cv_.notify_all();
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return queued_total_ == 0 && running_ == 0; });
 }
@@ -116,11 +134,14 @@ void BatchScheduler::drain() {
 void BatchScheduler::stop() {
   {
     std::lock_guard lock(mutex_);
-    if (stopping_ && drivers_.empty()) return;
     stopping_ = true;
     paused_ = false;  // a paused scheduler still owes its accepted jobs
   }
   cv_.notify_all();
+  // Serialize the teardown: concurrent stop() callers (including ~) queue
+  // here, and each returns only once drivers are joined and pools are down
+  // (pool shutdown itself is idempotent).
+  std::lock_guard stop_lock(stop_mutex_);
   {
     std::unique_lock lock(mutex_);
     idle_cv_.wait(lock, [this] { return queued_total_ == 0 && running_ == 0; });
@@ -141,70 +162,117 @@ BatchScheduler::Stats BatchScheduler::stats() const {
   return stats_;
 }
 
-std::shared_ptr<JobTicket> BatchScheduler::pick_job_locked(int* shard_out) {
-  Tenant* best = nullptr;
-  for (auto& [name, tenant] : tenants_) {
-    if (tenant.queue.empty()) continue;
-    if (best == nullptr || tenant.vtime < best->vtime) best = &tenant;
-  }
-  if (best == nullptr) return nullptr;
-  std::shared_ptr<JobTicket> job = std::move(best->queue.front());
-  best->queue.pop_front();
-  --queued_total_;
-  vclock_ = best->vtime;
-  best->vtime += job_cost(job->request()) / best->quota.weight;
+std::vector<double> BatchScheduler::shard_costs() const {
+  std::lock_guard lock(mutex_);
+  return shard_cost_;
+}
 
+bool BatchScheduler::pick_job_locked(Dispatch* out) {
+  Tenant* tenant = nullptr;
+  std::deque<std::shared_ptr<JobTicket>>::iterator pos;
+
+  if (config_.mode == SchedMode::Deadline) {
+    // EDF: earliest absolute deadline among jobs that carry one.  Ties (and
+    // the no-deadline-jobs case) resolve deterministically: tenants_ is an
+    // ordered map and each queue is FIFO.
+    JobTicket::Clock::time_point best = JobTicket::Clock::time_point::max();
+    for (auto& [name, t] : tenants_) {
+      for (auto it = t.queue.begin(); it != t.queue.end(); ++it) {
+        if ((*it)->request().deadline_ms <= 0.0) continue;
+        if ((*it)->deadline_at_ < best) {
+          best = (*it)->deadline_at_;
+          tenant = &t;
+          pos = it;
+        }
+      }
+    }
+  }
+  if (tenant == nullptr) {
+    // Fair-share pick (SchedMode::FairShare, or Deadline with no deadline
+    // job queued): backlogged tenant with minimum virtual time, FIFO within.
+    for (auto& [name, t] : tenants_) {
+      if (t.queue.empty()) continue;
+      if (tenant == nullptr || t.vtime < tenant->vtime) tenant = &t;
+    }
+    if (tenant == nullptr) return false;
+    pos = tenant->queue.begin();
+  }
+
+  std::shared_ptr<JobTicket> job = std::move(*pos);
+  tenant->queue.erase(pos);
+  --queued_total_;
+
+  const int remaining =
+      job->request().steps - static_cast<int>(job->steps_completed());
+  int quantum = remaining;
+  if (config_.preempt_slice_steps > 0) {
+    quantum = std::min(quantum, config_.preempt_slice_steps);
+  }
+  const double cost = slice_cost(job->request(), quantum);
+  vclock_ = tenant->vtime;
+  tenant->vtime += cost / tenant->quota.weight;
+
+  // Least outstanding dispatched *cost*, not running-job count: with counts,
+  // one shard can collect every oversized job while the other idles through
+  // its 50-step neighbors.
   int shard = 0;
   for (int p = 1; p < config_.n_pools; ++p) {
-    if (shard_running_[static_cast<std::size_t>(p)] <
-        shard_running_[static_cast<std::size_t>(shard)]) {
+    if (shard_cost_[static_cast<std::size_t>(p)] <
+        shard_cost_[static_cast<std::size_t>(shard)]) {
       shard = p;
     }
   }
-  ++shard_running_[static_cast<std::size_t>(shard)];
+  shard_cost_[static_cast<std::size_t>(shard)] += cost;
   ++running_;
-  *shard_out = shard;
-  return job;
+  out->job = std::move(job);
+  out->shard = shard;
+  out->quantum = quantum;
+  out->cost = cost;
+  return true;
 }
 
 void BatchScheduler::driver_main() {
   for (;;) {
-    std::shared_ptr<JobTicket> job;
-    int shard = 0;
+    Dispatch d;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] {
         return (!paused_ && queued_total_ > 0) || (stopping_ && queued_total_ == 0);
       });
       if (queued_total_ == 0) return;  // stopping and fully drained
-      job = pick_job_locked(&shard);
-      if (job == nullptr) continue;
-      job->mark_running();
+      if (!pick_job_locked(&d)) continue;
+      d.job->mark_running(d.shard);
     }
 
-    run_job(*job, shard);
+    const bool preempted = run_job(*d.job, d.shard, d.quantum);
 
     {
       std::lock_guard lock(mutex_);
-      --shard_running_[static_cast<std::size_t>(shard)];
+      shard_cost_[static_cast<std::size_t>(d.shard)] -= d.cost;
       --running_;
-      if (job->status() == JobStatus::Done) {
+      if (preempted) {
+        // Re-enqueue the continuation on its tenant's FIFO under the same
+        // lock as the running_ decrement, so drain()/stop() never observe a
+        // preempted-but-unqueued job as "idle".  No vtime rejoin bump: the
+        // tenant was being served, not idle, and already paid for the slice.
+        tenants_.find(d.job->request().tenant)->second.queue.push_back(d.job);
+        ++queued_total_;
+        ++stats_.preemptions;
+      } else if (d.job->status() == JobStatus::Done) {
         ++stats_.completed;
       } else {
         ++stats_.failed;
       }
     }
     idle_cv_.notify_all();
-    // A queued job may have been waiting for this driver slot.
+    // A queued job (possibly the continuation) may be waiting for a driver.
     cv_.notify_one();
   }
 }
 
-void BatchScheduler::run_job(JobTicket& job, int shard) {
+bool BatchScheduler::run_job(JobTicket& job, int shard, int quantum) {
   const JobRequest& req = job.request();
   try {
-    const std::shared_ptr<const md::MolecularSystem> cached = cache_.load(req.scene_text);
-
     md::EngineConfig cfg;
     cfg.n_threads = req.n_threads;
     cfg.chunks_per_thread = req.chunks_per_thread;
@@ -212,24 +280,66 @@ void BatchScheduler::run_job(JobTicket& job, int shard) {
     cfg.dt_fs = req.dt_fs;
     cfg.cutoff = req.cutoff;
     cfg.skin = req.skin;
-    md::Engine engine(*cached, cfg);  // private copy; the cache stays immutable
+
+    std::optional<md::Engine> engine;
+    const long long base = job.steps_completed();
+    if (base == 0) {
+      const std::shared_ptr<const md::MolecularSystem> cached = cache_.load(req.scene_text);
+      engine.emplace(*cached, cfg);  // private copy; the cache stays immutable
+    } else {
+      // Continuation: restore the checkpointed trajectory bit-exactly —
+      // positions/velocities/accelerations from the "mws 2" text, the
+      // neighbor list rebuilt from its reference snapshot (see
+      // Engine::restore_continuation for why both are load-bearing).
+      std::istringstream is(job.checkpoint_text());
+      std::vector<Vec3> refs;
+      md::MolecularSystem sys = md::load_scene(is, &refs);
+      engine.emplace(std::move(sys), cfg);
+      engine->restore_continuation(refs);
+    }
 
     parallel::FixedThreadPool& pool = *pools_[static_cast<std::size_t>(shard)];
-    const int interval = req.sample_interval > 0 ? req.sample_interval : req.steps;
-    int done = 0;
-    while (done < req.steps) {
-      const int slice = std::min(interval, req.steps - done);
-      engine.run_native(pool, slice);
-      done += slice;
-      job.push_sample({engine.steps_done(), engine.potential_energy(),
-                       engine.kinetic_energy()});
+    const int si = req.sample_interval;
+    const long long steps = req.steps;
+    long long total = base;
+    long long end = base + quantum;
+    while (total < steps) {
+      if (total == end) {
+        // Quantum exhausted with steps left.  During stop() the quantum
+        // extends to completion instead: shutdown owes every accepted job a
+        // terminal state and gains nothing from further requeues.
+        bool preempt = false;
+        {
+          std::lock_guard lock(mutex_);
+          preempt = !stopping_;
+        }
+        if (preempt) {
+          job.record_preemption(checkpoint_text(*engine), total - base);
+          return true;
+        }
+        end = steps;
+      }
+      // Run to the next sample boundary on the *global* step grid (or the
+      // quantum/job end), so a preempted job streams samples at exactly the
+      // steps an uninterrupted run would.
+      long long next = end;
+      if (si > 0) next = std::min(next, (total / si + 1) * static_cast<long long>(si));
+      engine->run_native(pool, static_cast<int>(next - total));
+      total = next;
+      const bool at_job_end = total == steps;
+      if (si > 0 ? (total % si == 0 || at_job_end) : at_job_end) {
+        job.push_sample({total, engine->potential_energy(), engine->kinetic_energy()});
+      }
     }
-    job.finish(JobStatus::Done, engine.potential_energy(), engine.kinetic_energy(),
-               req.return_scene ? scene_text(engine.system()) : "", "");
+    job.finish(JobStatus::Done, engine->potential_energy(), engine->kinetic_energy(),
+               req.return_scene ? scene_text(engine->system()) : "", "");
+    return false;
   } catch (const std::exception& e) {
     job.finish(JobStatus::Failed, 0.0, 0.0, "", e.what());
+    return false;
   } catch (...) {
     job.finish(JobStatus::Failed, 0.0, 0.0, "", "unknown exception");
+    return false;
   }
 }
 

@@ -5,6 +5,7 @@
 #include "common/args.hpp"
 #include "md/engine.hpp"
 #include "md/scene_io.hpp"
+#include "parallel/thread_pool.hpp"
 #include "workloads/workloads.hpp"
 
 namespace mwx::md {
@@ -95,7 +96,15 @@ TEST(SceneIoTest, MalformedInputsRejectedWithLineNumbers) {
     }
   };
   expect_fail("box 0 0 0 10 10 10\n", "missing 'mws 1' header");
-  expect_fail("mws 2\n", "unsupported scene version");
+  expect_fail("mws 3\n", "unsupported scene version");
+  expect_fail("mws 0\n", "unsupported scene version");
+  expect_fail("mws 1\nbox 0 0 0 9 9 9\ntype A 1 0 1\natom 0 1 1 1 0 0 0 0 1\nacc 0 0 0\n",
+              "version-1 scene");
+  expect_fail("mws 1\nbox 0 0 0 9 9 9\ntype A 1 0 1\natom 0 1 1 1 0 0 0 0 1\nnref 1 1 1\n",
+              "version-1 scene");
+  expect_fail(
+      "mws 2\nbox 0 0 0 9 9 9\ntype A 1 0 1\natom 0 1 1 1 0 0 0 0 1\nacc 0 0 0\nacc 0 0 0\n",
+      "more acc records than atoms");
   expect_fail("mws 1\nfrobnicate 3\n", "unknown record");
   expect_fail("mws 1\nbox 0 0 0\n", "malformed box");
   expect_fail("mws 1\natom 0 1 1 1 0 0 0 0 1\n", "atom before box");
@@ -103,6 +112,141 @@ TEST(SceneIoTest, MalformedInputsRejectedWithLineNumbers) {
   expect_fail("mws 1\nbox 0 0 0 10 10 10\ntype A 1 0 1\natom 7 1 1 1 0 0 0 0 1\n",
               "unknown atom type");
   expect_fail("mws 1\nbox 0 0 0 5 5 5\ntype A 1 0 1\n", "no atoms");
+}
+
+TEST(SceneIoTest, CheckpointRoundTripCarriesAccAndRefs) {
+  auto spec = workloads::make_benchmark("salt", 5);
+  auto cfg = spec.engine;
+  cfg.n_threads = 1;
+  Engine engine(spec.system, cfg);
+  engine.run_inline(9);
+
+  std::stringstream ss;
+  save_checkpoint_scene(ss, engine.system(), engine.neighbor_list().reference_positions());
+  std::vector<Vec3> refs;
+  const MolecularSystem loaded = load_scene(ss, &refs);
+  expect_systems_equal(engine.system(), loaded);
+
+  const MolecularSystem& orig = engine.system();
+  ASSERT_EQ(static_cast<int>(refs.size()), orig.n_atoms());
+  for (int ext = 0; ext < orig.n_atoms(); ++ext) {
+    const auto i = static_cast<std::size_t>(orig.index_of_external(ext));
+    // load_scene assigns external ID == index, so the loaded arrays are in
+    // external order.
+    EXPECT_EQ(orig.accelerations()[i], loaded.accelerations()[static_cast<std::size_t>(ext)]);
+    EXPECT_EQ(engine.neighbor_list().reference_positions()[i],
+              refs[static_cast<std::size_t>(ext)]);
+  }
+}
+
+TEST(SceneIoTest, CheckpointLoadsAsPlainScene) {
+  // A v2 checkpoint consumed without an nref receiver is a valid ordinary
+  // starting scene (accelerations applied, snapshot dropped).
+  auto spec = workloads::make_benchmark("nanocar", 3);
+  auto cfg = spec.engine;
+  cfg.n_threads = 1;
+  Engine engine(spec.system, cfg);
+  engine.run_inline(4);
+  std::stringstream ss;
+  save_checkpoint_scene(ss, engine.system(), engine.neighbor_list().reference_positions());
+  const MolecularSystem loaded = load_scene(ss);
+  expect_systems_equal(engine.system(), loaded);
+}
+
+TEST(SceneIoTest, CheckpointRefCountMismatchRejected) {
+  auto spec = workloads::make_benchmark("nanocar", 3);
+  Engine engine(spec.system, {.n_threads = 1});
+  engine.compute_forces_only();
+  std::vector<Vec3> short_refs(static_cast<std::size_t>(spec.system.n_atoms()) - 1);
+  std::stringstream ss;
+  EXPECT_THROW(save_checkpoint_scene(ss, engine.system(), short_refs), ContractError);
+}
+
+// The tentpole correctness discipline: run `split` steps, checkpoint through
+// the v2 text form, restore into a fresh engine, run the remainder — final
+// energies and positions must be bitwise identical to the uninterrupted run.
+void expect_restore_bit_exact(const MolecularSystem& sys, EngineConfig cfg, int total,
+                              int split) {
+  parallel::FixedThreadPool pool({.n_threads = cfg.n_threads});
+
+  Engine uninterrupted(sys, cfg);
+  uninterrupted.run_native(pool, total);
+
+  Engine first(sys, cfg);
+  first.run_native(pool, split);
+  std::stringstream ss;
+  save_checkpoint_scene(ss, first.system(), first.neighbor_list().reference_positions());
+
+  std::vector<Vec3> refs;
+  MolecularSystem loaded = load_scene(ss, &refs);
+  Engine second(std::move(loaded), cfg);
+  second.restore_continuation(refs);
+  second.run_native(pool, total - split);
+
+  EXPECT_EQ(uninterrupted.potential_energy(), second.potential_energy());
+  EXPECT_EQ(uninterrupted.kinetic_energy(), second.kinetic_energy());
+  const MolecularSystem& a = uninterrupted.system();
+  const MolecularSystem& b = second.system();
+  for (int ext = 0; ext < a.n_atoms(); ++ext) {
+    EXPECT_EQ(a.positions()[static_cast<std::size_t>(a.index_of_external(ext))],
+              b.positions()[static_cast<std::size_t>(b.index_of_external(ext))]);
+  }
+  pool.shutdown();
+}
+
+TEST(SceneIoTest, RestoreContinuationBitExactGas) {
+  const auto sys = workloads::make_lj_gas(256, 0.006, 300.0, 91);
+  for (int split : {1, 13, 41}) {
+    expect_restore_bit_exact(sys, {.n_threads = 2}, 60, split);
+  }
+}
+
+TEST(SceneIoTest, RestoreContinuationBitExactSaltMidRebuildWindow) {
+  // Regression anchor: split=11 on salt with 3 decomposition slots lands the
+  // checkpoint mid-way through a neighbor-list validity window.  Restoring
+  // without the reference snapshot (rebuilding the list from *current*
+  // positions) reorders force accumulation and diverges here — the nref
+  // records are load-bearing, not belt-and-braces.
+  auto spec = workloads::make_benchmark("salt", 7);
+  auto cfg = spec.engine;
+  cfg.n_threads = 3;
+  expect_restore_bit_exact(spec.system, cfg, 40, 11);
+}
+
+TEST(SceneIoTest, RestoreContinuationBitExactAcrossWorkloads) {
+  {
+    auto spec = workloads::make_benchmark("nanocar", 3);
+    auto cfg = spec.engine;
+    cfg.n_threads = 2;
+    expect_restore_bit_exact(spec.system, cfg, 30, 9);
+  }
+  {
+    auto spec = workloads::make_benchmark("Al-1000", 4);
+    auto cfg = spec.engine;
+    cfg.n_threads = 4;
+    expect_restore_bit_exact(spec.system, cfg, 24, 7);
+  }
+}
+
+TEST(SceneIoTest, RestoreContinuationGuards) {
+  const auto sys = workloads::make_lj_gas(64, 0.004, 200.0, 7);
+  std::vector<Vec3> refs(static_cast<std::size_t>(sys.n_atoms()));
+  {
+    Engine engine(sys, {.n_threads = 1});
+    engine.run_inline(1);  // list already built: too late to restore
+    EXPECT_THROW(engine.restore_continuation(refs), ContractError);
+  }
+  {
+    Engine engine(sys, {.n_threads = 1});
+    std::vector<Vec3> wrong(refs.size() - 1);
+    EXPECT_THROW(engine.restore_continuation(wrong), ContractError);
+  }
+  {
+    EngineConfig cfg{.n_threads = 1};
+    cfg.reorder_interval = 4;  // Morton pass cannot be replayed from a checkpoint
+    Engine engine(sys, cfg);
+    EXPECT_THROW(engine.restore_continuation(refs), ContractError);
+  }
 }
 
 TEST(SceneIoTest, FileRoundTrip) {

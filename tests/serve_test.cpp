@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/require.hpp"
@@ -72,6 +74,27 @@ TEST(SceneCacheTest, EvictsOldestTouchedAtCapacity) {
 TEST(SceneCacheTest, MalformedSceneThrows) {
   SceneCache cache(4);
   EXPECT_THROW(cache.load("definitely not a scene"), ContractError);
+}
+
+TEST(SceneCacheTest, RacerBeatUsCountsAsHit) {
+  // Two concurrent first loads of the same text: the loser of the insert
+  // race must count a *hit* (the cache resolved its request), not a miss —
+  // the pre-fix code charged the miss before re-checking under the lock and
+  // under-reported hit rate.  The parse hook runs in the loser's race
+  // window, where we let a second load win the insert.
+  SceneCache cache(8);
+  const std::string text = small_scene();
+  std::atomic<bool> raced{false};
+  cache.set_parse_hook([&] {
+    if (raced.exchange(true)) return;  // the inner load skips the hook body
+    cache.load(text);                  // racer: parses and inserts first
+  });
+  const auto outer = cache.load(text);
+  const auto inner = cache.load(text);  // plain hit on the racer's entry
+  EXPECT_EQ(outer.get(), inner.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1);  // only the racer's winning parse
+  EXPECT_EQ(cache.hits(), 2);    // the outer (beaten) load + the plain hit
 }
 
 TEST(ServeTest, JobsMatchDedicatedEngineBitwise) {
@@ -297,6 +320,311 @@ TEST(ServeTest, SceneCacheDedupesAcrossJobs) {
   scheduler.submit(req)->wait();
   EXPECT_EQ(scheduler.scene_cache().misses(), 1);
   EXPECT_EQ(scheduler.scene_cache().hits(), 2);
+}
+
+TEST(ServeTest, DrainReleasesPausedScheduler) {
+  // Regression: drain() on a paused scheduler with queued jobs used to wait
+  // forever on queued_total_ == 0 while the paused drivers never picked
+  // work.  drain() promises completion, so it must release the drivers.
+  SchedulerConfig sc = small_sched(2, 1);
+  sc.start_paused = true;
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 3;
+  const auto a = scheduler.submit(req);
+  const auto b = scheduler.submit(req);
+  scheduler.drain();  // no start() — pre-fix this deadlocked
+  EXPECT_EQ(a->status(), JobStatus::Done) << a->error();
+  EXPECT_EQ(b->status(), JobStatus::Done) << b->error();
+}
+
+TEST(ServeTest, SampleRingCapsRetainedSamples) {
+  // A long job with sample_interval=1 must not grow its ticket without
+  // bound: the ring keeps the newest max_samples_per_job samples and counts
+  // the evictions.
+  SchedulerConfig sc = small_sched(2, 1);
+  sc.max_samples_per_job = 5;
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 20;
+  req.sample_interval = 1;
+  const auto ticket = scheduler.submit(req);
+  ticket->wait();
+  ASSERT_EQ(ticket->status(), JobStatus::Done) << ticket->error();
+  EXPECT_EQ(ticket->samples_dropped(), 15);
+  const std::vector<Sample> samples = ticket->samples();
+  ASSERT_EQ(samples.size(), 5u);
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    EXPECT_EQ(samples[k].step, 16 + static_cast<long long>(k));
+  }
+  EXPECT_EQ(samples.back().pe, ticket->potential_energy());
+}
+
+TEST(ServeTest, ShardSelectionBalancesOnCost) {
+  // One oversized job + three small ones over two shards and four drivers.
+  // Balancing on outstanding *cost* keeps every small job off the oversized
+  // job's shard; the pre-fix running-job *count* balance tie-broke the
+  // second small job onto shard 0 alongside the giant.
+  SchedulerConfig sc;
+  sc.n_pools = 2;
+  sc.threads_per_pool = 2;
+  sc.max_drivers = 4;
+  sc.start_paused = true;
+  BatchScheduler scheduler(sc);
+
+  JobRequest big;
+  big.tenant = "bulk";
+  big.scene_text = scene_text(workloads::make_lj_gas(1024, 0.006, 300.0, 17));
+  big.steps = 60;
+  JobRequest small;
+  small.tenant = "bulk";
+  small.scene_text = scene_text(workloads::make_lj_gas(128, 0.006, 300.0, 18));
+  small.steps = 60;
+
+  const auto big_ticket = scheduler.submit(big);
+  std::vector<std::shared_ptr<JobTicket>> smalls;
+  for (int j = 0; j < 3; ++j) smalls.push_back(scheduler.submit(small));
+  scheduler.start();
+  scheduler.drain();
+
+  ASSERT_EQ(big_ticket->status(), JobStatus::Done) << big_ticket->error();
+  for (const auto& t : smalls) {
+    ASSERT_EQ(t->status(), JobStatus::Done) << t->error();
+    EXPECT_NE(t->shard(), big_ticket->shard());
+  }
+}
+
+TEST(ServePreemptTest, PreemptedJobBitwiseMatchesUninterrupted) {
+  // The tentpole discipline on the hardest anchor we know: salt with 3
+  // decomposition slots, preempted every 11 steps of 40 — each continuation
+  // restores mid-neighbor-window, where a naive restart diverges.  Energies
+  // and sample cadence must be indistinguishable from the uninterrupted run.
+  auto spec = workloads::make_benchmark("salt", 7);
+  JobRequest req;
+  req.scene_text = scene_text(spec.system);
+  req.steps = 40;
+  req.n_threads = 3;
+  req.sample_interval = 8;
+  req.dt_fs = spec.engine.dt_fs;
+  req.cutoff = spec.engine.cutoff;
+  req.skin = spec.engine.skin;
+
+  std::shared_ptr<JobTicket> plain;
+  {
+    BatchScheduler scheduler(small_sched(3, 1));
+    plain = scheduler.submit(req);
+    scheduler.drain();
+  }
+  ASSERT_EQ(plain->status(), JobStatus::Done) << plain->error();
+  EXPECT_EQ(plain->preemptions(), 0);
+
+  SchedulerConfig sc = small_sched(3, 1);
+  sc.preempt_slice_steps = 11;
+  BatchScheduler scheduler(sc);
+  const auto preempted = scheduler.submit(req);
+  scheduler.drain();
+  ASSERT_EQ(preempted->status(), JobStatus::Done) << preempted->error();
+  EXPECT_EQ(preempted->preemptions(), 3);  // dispatched 11+11+11+7
+  EXPECT_EQ(preempted->steps_completed(), 40);
+  EXPECT_EQ(preempted->potential_energy(), plain->potential_energy());
+  EXPECT_EQ(preempted->kinetic_energy(), plain->kinetic_energy());
+
+  const auto a = plain->samples();
+  const auto b = preempted->samples();
+  ASSERT_EQ(a.size(), b.size());  // 8,16,24,32,40 — quantum edges add none
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].step, b[k].step);
+    EXPECT_EQ(a[k].pe, b[k].pe);
+    EXPECT_EQ(a[k].ke, b[k].ke);
+  }
+  EXPECT_EQ(scheduler.stats().preemptions, 3);
+  EXPECT_EQ(scheduler.stats().completed, 1);
+}
+
+TEST(ServePreemptTest, FinalSceneUnchangedByPreemption) {
+  JobRequest req;
+  req.scene_text = small_scene(9);
+  req.steps = 30;
+  req.return_scene = true;
+  std::shared_ptr<JobTicket> plain;
+  {
+    BatchScheduler scheduler(small_sched(2, 1));
+    plain = scheduler.submit(req);
+    scheduler.drain();
+  }
+  SchedulerConfig sc = small_sched(2, 1);
+  sc.preempt_slice_steps = 7;
+  BatchScheduler scheduler(sc);
+  const auto preempted = scheduler.submit(req);
+  scheduler.drain();
+  ASSERT_EQ(preempted->status(), JobStatus::Done) << preempted->error();
+  EXPECT_EQ(preempted->preemptions(), 4);  // 7+7+7+7+2
+  // Byte-identical endpoint: the continuation chain is the same trajectory.
+  EXPECT_EQ(preempted->final_scene(), plain->final_scene());
+}
+
+TEST(ServePreemptTest, PreemptDuringDrainCompletesJob) {
+  // drain() must ride out preemptions: the continuation re-enters the queue
+  // atomically with the running count dropping, so drain can never observe
+  // the job as idle mid-requeue.
+  SchedulerConfig sc = small_sched(2, 2);
+  sc.preempt_slice_steps = 5;
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 55;
+  const auto ticket = scheduler.submit(req);
+  scheduler.drain();
+  EXPECT_EQ(ticket->status(), JobStatus::Done) << ticket->error();
+  EXPECT_EQ(ticket->preemptions(), 10);
+  EXPECT_EQ(scheduler.stats().preemptions, 10);
+}
+
+TEST(ServePreemptTest, QueueDelayMeasuredToFirstStartOnly) {
+  SchedulerConfig sc = small_sched(2, 1);
+  sc.preempt_slice_steps = 3;
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 12;
+  const auto ticket = scheduler.submit(req);
+  scheduler.drain();
+  ASSERT_EQ(ticket->status(), JobStatus::Done) << ticket->error();
+  EXPECT_GT(ticket->preemptions(), 0);
+  // Queue delay cannot exceed total latency, and preemption re-queues must
+  // not have reset it to a later window.
+  EXPECT_LE(ticket->queue_seconds(), ticket->latency_seconds());
+}
+
+TEST(ServeDeadlineTest, DeadlineModePrefersEarliestDeadline) {
+  // Paused single-driver scheduler: dispatch order is exactly the pick
+  // order.  EDF serves the 5s deadline before the 10s one; the deadline-less
+  // job goes last via the fair-share fallback.
+  SchedulerConfig sc;
+  sc.threads_per_pool = 2;
+  sc.max_drivers = 1;
+  sc.start_paused = true;
+  sc.mode = SchedMode::Deadline;
+  BatchScheduler scheduler(sc);
+
+  JobRequest req;
+  req.scene_text = scene_text(workloads::make_lj_gas(128, 0.006, 300.0, 5));
+  req.steps = 25;
+  JobRequest none = req;
+  none.tenant = "batch";
+  JobRequest loose = req;
+  loose.tenant = "loose";
+  loose.deadline_ms = 10000.0;
+  JobRequest tight = req;
+  tight.tenant = "tight";
+  tight.deadline_ms = 5000.0;
+
+  // Submit in anti-EDF order so FIFO cannot masquerade as the fix.
+  const auto t_none = scheduler.submit(none);
+  const auto t_loose = scheduler.submit(loose);
+  const auto t_tight = scheduler.submit(tight);
+  scheduler.start();
+  scheduler.drain();
+  for (const auto& t : {t_none, t_loose, t_tight}) {
+    ASSERT_EQ(t->status(), JobStatus::Done) << t->error();
+  }
+  EXPECT_LT(t_tight->queue_seconds(), t_loose->queue_seconds());
+  EXPECT_LT(t_loose->queue_seconds(), t_none->queue_seconds());
+  EXPECT_FALSE(t_tight->deadline_missed());
+  EXPECT_FALSE(t_loose->deadline_missed());
+  EXPECT_FALSE(t_none->deadline_missed());  // no deadline, never "missed"
+}
+
+TEST(ServeDeadlineTest, MissedDeadlineFlagged) {
+  SchedulerConfig sc = small_sched(2, 1);
+  sc.start_paused = true;  // hold the job queued past its microscopic SLO
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 10;
+  req.deadline_ms = 0.001;
+  const auto ticket = scheduler.submit(req);
+  scheduler.drain();
+  ASSERT_EQ(ticket->status(), JobStatus::Done) << ticket->error();
+  EXPECT_TRUE(ticket->deadline_missed());
+}
+
+TEST(ServeDeadlineTest, NegativeDeadlineRejected) {
+  BatchScheduler scheduler(small_sched(1, 1));
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.deadline_ms = -1.0;
+  const auto ticket = scheduler.submit(req);
+  EXPECT_EQ(ticket->status(), JobStatus::Rejected);
+  EXPECT_EQ(ticket->error(), "deadline_ms must be non-negative");
+}
+
+TEST(ServeLifecycleTest, StopWhilePausedCompletesAcceptedJobs) {
+  SchedulerConfig sc = small_sched(2, 1);
+  sc.start_paused = true;
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 3;
+  const auto a = scheduler.submit(req);
+  const auto b = scheduler.submit(req);
+  scheduler.stop();  // never start()ed — stop still owes the accepted jobs
+  EXPECT_EQ(a->status(), JobStatus::Done) << a->error();
+  EXPECT_EQ(b->status(), JobStatus::Done) << b->error();
+}
+
+TEST(ServeLifecycleTest, ConcurrentDoubleStopIsSafe) {
+  SchedulerConfig sc = small_sched(2, 2);
+  sc.preempt_slice_steps = 4;
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 20;
+  std::vector<std::shared_ptr<JobTicket>> tickets;
+  for (int j = 0; j < 4; ++j) tickets.push_back(scheduler.submit(req));
+  std::thread other([&] { scheduler.stop(); });
+  scheduler.stop();
+  other.join();
+  // Both callers returned only after full teardown: every accepted job is
+  // terminal and the books balance.
+  for (const auto& t : tickets) {
+    EXPECT_EQ(t->status(), JobStatus::Done) << t->error();
+  }
+  const BatchScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed + stats.failed, stats.accepted);
+}
+
+TEST(ServeLifecycleTest, SubmitRacingStopNeverLosesATicket) {
+  SchedulerConfig sc = small_sched(2, 2);
+  BatchScheduler scheduler(sc);
+  JobRequest req;
+  req.scene_text = small_scene();
+  req.steps = 2;
+  std::vector<std::shared_ptr<JobTicket>> tickets;
+  std::atomic<bool> go{false};
+  std::thread submitter([&] {
+    while (!go.load()) {}
+    for (int j = 0; j < 32; ++j) tickets.push_back(scheduler.submit(req));
+  });
+  go.store(true);
+  scheduler.stop();
+  submitter.join();
+  // Every ticket reached a terminal state: accepted ones completed before
+  // stop() returned, later ones were rejected with the stopping reason —
+  // none hang in Queued/Running.
+  long long done = 0, rejected = 0;
+  for (const auto& t : tickets) {
+    t->wait();
+    const JobStatus s = t->status();
+    EXPECT_TRUE(s == JobStatus::Done || s == JobStatus::Rejected) << to_string(s);
+    if (s == JobStatus::Done) ++done;
+    if (s == JobStatus::Rejected) ++rejected;
+  }
+  EXPECT_EQ(done + rejected, 32);
+  const BatchScheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed + stats.failed, stats.accepted);
 }
 
 }  // namespace

@@ -8,8 +8,12 @@
 // the re-entrant engine + serve stack.
 //
 // Usage: mwx_serve <benchmark|scene.mws> [jobs] [steps] [pool_threads] [tenants]
+//                  [preempt_slice]
 //   benchmark: nanocar | salt | Al-1000 (Table I), or a path to a .mws file
-//   defaults:  jobs=8 steps=100 pool_threads=4 tenants=2
+//   defaults:  jobs=8 steps=100 pool_threads=4 tenants=2 preempt_slice=0
+//   preempt_slice > 0 checkpoints every job each `preempt_slice` steps and
+//   resumes it from the checkpoint text — the bitwise gate then also proves
+//   preempted-and-resumed jobs indistinguishable from uninterrupted ones.
 
 #include <cstdlib>
 #include <fstream>
@@ -40,7 +44,7 @@ bool is_scene_file(const std::string& arg) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mwx_serve <benchmark|scene.mws> [jobs] [steps] "
-              << "[pool_threads] [tenants]\n  benchmarks:";
+              << "[pool_threads] [tenants] [preempt_slice]\n  benchmarks:";
     for (const auto& name : workloads::benchmark_names()) std::cerr << " " << name;
     std::cerr << "\n";
     return 2;
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
   const int steps = argc > 3 ? std::atoi(argv[3]) : 100;
   const int pool_threads = argc > 4 ? std::atoi(argv[4]) : 4;
   const int tenants = argc > 5 ? std::atoi(argv[5]) : 2;
+  const int preempt_slice = argc > 6 ? std::atoi(argv[6]) : 0;
 
   // Build the job template: scene text + engine parameters.
   serve::JobRequest base;
@@ -94,11 +99,14 @@ int main(int argc, char** argv) {
   sc.max_drivers = std::max(8, n_jobs);  // all jobs genuinely concurrent
   sc.max_queued_total = std::max(256, n_jobs);
   sc.default_quota.max_queued = std::max(64, n_jobs);
+  sc.preempt_slice_steps = preempt_slice;
   serve::BatchScheduler scheduler(sc);
 
   std::cout << "mwx_serve: " << n_jobs << " jobs x " << steps << " steps of '" << what
             << "' from " << tenants << " tenants over a shared " << pool_threads
-            << "-thread pool\n";
+            << "-thread pool";
+  if (preempt_slice > 0) std::cout << ", preempting every " << preempt_slice << " steps";
+  std::cout << "\n";
 
   std::vector<std::shared_ptr<serve::JobTicket>> tickets;
   tickets.reserve(static_cast<std::size_t>(n_jobs));
@@ -121,7 +129,8 @@ int main(int argc, char** argv) {
     const bool match = t.potential_energy() == ref_pe && t.kinetic_energy() == ref_ke;
     std::cout << "  job " << j << " [" << t.request().tenant << "]: done in "
               << std::fixed << std::setprecision(1) << t.latency_seconds() * 1e3
-              << " ms, energy bits " << (match ? "MATCH" : "MISMATCH") << "\n";
+              << " ms, " << t.preemptions() << " preemptions, energy bits "
+              << (match ? "MATCH" : "MISMATCH") << "\n";
     if (!match) {
       std::cerr << std::setprecision(17) << "    pe=" << t.potential_energy()
                 << " ref=" << ref_pe << "\n    ke=" << t.kinetic_energy()
@@ -132,9 +141,15 @@ int main(int argc, char** argv) {
   const serve::BatchScheduler::Stats stats = scheduler.stats();
   std::cout << "  scheduler: " << stats.accepted << " accepted, " << stats.completed
             << " completed, " << stats.failed << " failed, " << stats.rejected
-            << " rejected; scene cache " << scheduler.scene_cache().hits() << " hits / "
+            << " rejected, " << stats.preemptions << " preemptions; scene cache "
+            << scheduler.scene_cache().hits() << " hits / "
             << scheduler.scene_cache().misses() << " misses\n";
 
+  if (preempt_slice > 0 && steps > preempt_slice && stats.preemptions == 0) {
+    std::cerr << "FAIL: preemption requested (slice " << preempt_slice << " < " << steps
+              << " steps) but no job was ever preempted\n";
+    return 1;
+  }
   if (failures != 0) {
     std::cerr << "FAIL: " << failures << "/" << n_jobs
               << " jobs did not reproduce the dedicated-pool energies\n";
