@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: the tier-1 verify (full build + test suite) plus the tsan
 # preset's concurrency suites (StealDeque/ThreadPool/TaskQueue/QueueModes/
-# Latch/Barrier/TraceRing/JobHandle/Reentrancy/Serve/SceneCache), which pin
-# the lock-free executor paths, the idempotent-shutdown fix, the trace ring's
-# merge-at-read protocol and the re-entrant shared-pool/serve stack.
+# Latch/Barrier/TraceRing/JobHandle/Reentrancy/Serve/SceneCache/
+# RebuildParallel), which pin the lock-free executor paths, the
+# idempotent-shutdown fix, the trace ring's merge-at-read protocol, the
+# re-entrant shared-pool/serve stack and the parallel rebuild pipeline.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -174,6 +175,41 @@ print("BENCH_serve.json OK: both phases, preempted jobs bit-checked,"
       " deadline hit rate", doc["deadline"]["hit_rate"])
 EOF
 rm -rf "${serve_dir}"
+
+echo "== scale smoke: 100k-atom parallel-rebuild determinism gate =="
+# The workload-axis gate: a 100k-atom bulk crystal through every parallel
+# rebuild pass (bin / prefix scan / Morton radix / chunked scene serializer)
+# at 1/2/4/T threads, plus a short native engine run with parallel_rebuild
+# off vs on.  scaling_atoms exits nonzero on ANY byte/bit divergence from the
+# serial references, so the schema check below only runs on verified output.
+cmake --build --preset default --parallel "${jobs}" --target scaling_atoms
+scale_dir=$(mktemp -d)
+(cd "${scale_dir}" && "${repo_root}/build/bench/scaling_atoms" 100000 2 4 0 >/dev/null)
+python3 - "${scale_dir}/BENCH_scaling.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "scaling", doc.get("bench")
+assert doc.get("schema_version") == 2, f"schema_version: {doc.get('schema_version')}"
+assert doc.get("git_sha"), "git_sha missing or empty"
+assert doc.get("provider") == "native", f"provider: {doc.get('provider')}"
+for n in (10000, 100000):
+    rg = doc[f"rebuild.n{n}"]
+    for phase in ("bin", "prefix", "sort", "scene"):
+        for mode in ("serial", "parallel"):
+            k = f"{phase}_{mode}_ms"
+            assert float(rg[k]) >= 0.0, f"rebuild.n{n} missing {k}"
+    assert float(rg["scene_bytes"]) > 0.0
+    eg = doc[f"engine.n{n}"]
+    assert float(eg["serial_rebuild_ms"]) > 0.0 and float(eg["parallel_rebuild_ms"]) > 0.0
+verify = doc["verify"]
+assert verify, "verify group missing"
+for key, flag in verify.items():
+    assert float(flag) == 1.0, f"determinism flag {key} = {flag}"
+assert "droplet_phases_identical" in verify, "droplet stress case missing"
+print("BENCH_scaling.json OK:", len(verify), "determinism flags all 1")
+EOF
+rm -rf "${scale_dir}"
 
 echo "== forced-scalar: build + ctest with MWX_AVX2=OFF (scalar preset) =="
 # The bit-identity suites must hold in both ISAs: the vectorized lane loops

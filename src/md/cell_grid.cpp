@@ -3,15 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/chunked.hpp"
+
 namespace mwx::md {
 
 CellGrid::CellGrid(const Vec3& lo, const Vec3& hi, double reach) : lo_(lo), hi_(hi) {
   require(reach > 0.0, "cell reach must be positive");
   const Vec3 ext = hi - lo;
   require(ext.x > 0 && ext.y > 0 && ext.z > 0, "degenerate box");
-  nx_ = std::max(1, static_cast<int>(std::floor(ext.x / reach)));
-  ny_ = std::max(1, static_cast<int>(std::floor(ext.y / reach)));
-  nz_ = std::max(1, static_cast<int>(std::floor(ext.z / reach)));
+  // Axis counts are validated in floating point BEFORE the int casts: a huge
+  // box-to-reach ratio must fail the contract, not overflow the cast (UB) or
+  // the nx*ny*nz product used for cell indexing.
+  auto axis = [&](double extent) {
+    const double cells = std::max(1.0, std::floor(extent / reach));
+    require(cells <= 2097152.0, "cell grid axis count overflows int indexing");
+    return static_cast<int>(cells);
+  };
+  nx_ = axis(ext.x);
+  ny_ = axis(ext.y);
+  nz_ = axis(ext.z);
+  const long long cells =
+      static_cast<long long>(nx_) * static_cast<long long>(ny_) * static_cast<long long>(nz_);
+  require(cells < (1ll << 31),
+          "cell grid cell count overflows int indexing (shrink the box or grow the reach)");
   inv_wx_ = static_cast<double>(nx_) / ext.x;
   inv_wy_ = static_cast<double>(ny_) / ext.y;
   inv_wz_ = static_cast<double>(nz_) / ext.z;
@@ -43,11 +57,93 @@ void CellGrid::bin(std::span<const Vec3> positions) {
   }
   for (std::size_t c = 1; c < start_.size(); ++c) start_[c] += start_[c - 1];
   occupants_.resize(n);
-  std::vector<int> cursor(start_.begin(), start_.end() - 1);
+  // Reused member cursors: this is the hottest rebuild loop, and a fresh
+  // vector per call was steady-state allocator churn.
+  cursor_.assign(start_.begin(), start_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    occupants_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(scratch_[i])]++)] =
+    occupants_[static_cast<std::size_t>(cursor_[static_cast<std::size_t>(scratch_[i])]++)] =
         static_cast<int>(i);
   }
+}
+
+void CellGrid::bin(std::span<const Vec3> positions, parallel::FixedThreadPool* pool,
+                   int n_chunks) {
+  const std::size_t n = positions.size();
+  if (pool == nullptr || n_chunks <= 1 || n < 2) {
+    bin(positions);
+    return;
+  }
+  const std::size_t nc = static_cast<std::size_t>(n_cells());
+  const int chunks = static_cast<int>(
+      std::min(static_cast<long long>(n_chunks), static_cast<long long>(n)));
+  scratch_.resize(n);
+  occupants_.resize(n);
+  chunk_counts_.assign(static_cast<std::size_t>(chunks) * nc, 0);
+
+  // Phase A (parallel over atom chunks): cell ids + per-chunk histograms.
+  // cell_of is the same expression as the serial pass, so scratch_ bits
+  // match; each chunk owns one contiguous count row (no sharing).
+  parallel::for_chunks(pool, chunks, static_cast<long long>(n),
+                       [&](int k, long long b, long long e) {
+    int* counts = chunk_counts_.data() + static_cast<std::size_t>(k) * nc;
+    for (long long i = b; i < e; ++i) {
+      const int c = cell_of(positions[static_cast<std::size_t>(i)]);
+      scratch_[static_cast<std::size_t>(i)] = c;
+      ++counts[c];
+    }
+  });
+
+  // Phase B (two-level block scan over cells): each block rewrites its
+  // (cell, chunk) counts — iterated cell-major, chunk-minor, the stable
+  // order — into block-local exclusive prefixes and reports a block total;
+  // a tiny serial scan over the block totals then anchors the blocks.  All
+  // integer arithmetic: the result is the exact serial prefix sum.
+  const int n_blocks =
+      static_cast<int>(std::min(static_cast<long long>(chunks), static_cast<long long>(nc)));
+  block_base_.assign(static_cast<std::size_t>(n_blocks) + 1, 0);
+  parallel::for_chunks(pool, n_blocks, static_cast<long long>(nc),
+                       [&](int blk, long long cb, long long ce) {
+    int run = 0;
+    for (long long c = cb; c < ce; ++c) {
+      for (int k = 0; k < chunks; ++k) {
+        int& cell = chunk_counts_[static_cast<std::size_t>(k) * nc +
+                                  static_cast<std::size_t>(c)];
+        const int count = cell;
+        cell = run;
+        run += count;
+      }
+    }
+    block_base_[static_cast<std::size_t>(blk) + 1] = run;
+  });
+  for (int b = 0; b < n_blocks; ++b) {
+    block_base_[static_cast<std::size_t>(b) + 1] += block_base_[static_cast<std::size_t>(b)];
+  }
+  parallel::for_chunks(pool, n_blocks, static_cast<long long>(nc),
+                       [&](int blk, long long cb, long long ce) {
+    const int base = block_base_[static_cast<std::size_t>(blk)];
+    for (long long c = cb; c < ce; ++c) {
+      for (int k = 0; k < chunks; ++k) {
+        chunk_counts_[static_cast<std::size_t>(k) * nc + static_cast<std::size_t>(c)] += base;
+      }
+      // Chunk 0's scatter base for a cell IS the cell's global row start.
+      start_[static_cast<std::size_t>(c)] = chunk_counts_[static_cast<std::size_t>(c)];
+    }
+  });
+  start_[nc] = static_cast<int>(n);
+
+  // Phase C (parallel over atom chunks): stable in-order scatter.  Chunk k's
+  // cursors live in its own count row; within every cell the chunk bases are
+  // ordered k = 0, 1, ... and each chunk scans its atoms in ascending index,
+  // so occupants_ comes out in ascending atom index per cell — byte-identical
+  // to the serial counting sort.
+  parallel::for_chunks(pool, chunks, static_cast<long long>(n),
+                       [&](int k, long long b, long long e) {
+    int* cursors = chunk_counts_.data() + static_cast<std::size_t>(k) * nc;
+    for (long long i = b; i < e; ++i) {
+      occupants_[static_cast<std::size_t>(
+          cursors[scratch_[static_cast<std::size_t>(i)]]++)] = static_cast<int>(i);
+    }
+  });
 }
 
 int CellGrid::neighbor_cells(int c, int out[27]) const {

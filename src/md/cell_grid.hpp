@@ -11,6 +11,10 @@
 #include "common/require.hpp"
 #include "common/vec3.hpp"
 
+namespace mwx::parallel {
+class FixedThreadPool;
+}  // namespace mwx::parallel
+
 namespace mwx::md {
 
 class CellGrid {
@@ -21,7 +25,19 @@ class CellGrid {
 
   // Rebuilds the cell contents from scratch (classic head/next linked
   // lists, flattened into a CSR-style occupancy table for fast scanning).
+  // This serial counting sort is the reference the parallel overload must
+  // reproduce byte-for-byte.
   void bin(std::span<const Vec3> positions);
+
+  // Deterministic parallel rebuild: per-chunk per-cell count arrays over
+  // index-contiguous atom chunks, a block-wise prefix merge over the cells,
+  // then a stable in-order scatter.  Within every cell the occupants are
+  // chunk 0's atoms (in index order), then chunk 1's, ... — which IS
+  // ascending atom index, i.e. exactly the serial counting sort's order — so
+  // start_/occupants_ are byte-identical to bin(positions) for ANY pool
+  // width or chunk count.  Falls back to the serial path when `pool` is null
+  // or the fan-out degenerates.
+  void bin(std::span<const Vec3> positions, parallel::FixedThreadPool* pool, int n_chunks);
 
   [[nodiscard]] int n_cells() const { return nx_ * ny_ * nz_; }
   [[nodiscard]] int nx() const { return nx_; }
@@ -56,7 +72,10 @@ class CellGrid {
   int nx_, ny_, nz_;
   std::vector<int> start_;      // n_cells + 1
   std::vector<int> occupants_;  // atom ids grouped by cell
-  std::vector<int> scratch_;
+  std::vector<int> scratch_;    // per-atom cell id of the current bin pass
+  std::vector<int> cursor_;     // serial scatter cursors (reused across rebuilds)
+  std::vector<int> chunk_counts_;  // parallel bin: per-(chunk, cell) counts/bases
+  std::vector<int> block_base_;    // parallel bin: per-cell-block scan bases
 };
 
 }  // namespace mwx::md

@@ -28,6 +28,19 @@ struct CostTable {
   double corrector_atom = 22.0;
   double wall_check_atom = 6.0;
 
+  // --- Parallel rebuild pipeline ---------------------------------------------
+  // Charged instead of the serial bin/prefix lump sums when
+  // EngineConfig::parallel_rebuild is set: the simulator then runs the
+  // rebuild as real parallel phases (kPhaseBin / kPhaseNbrPrefix /
+  // kPhaseMortonSort), so the modelled serial fraction tracks the native
+  // pipeline's instead of the paper's all-serial housekeeping.
+  double bin_count_atom = 25.0;    // cell id + per-chunk histogram (parallel)
+  double bin_scatter_atom = 20.0;  // stable in-order scatter; count + scatter == bin_atom
+  double bin_merge_cell = 6.0;     // per-cell block-prefix merge (parallel over cell blocks)
+  double morton_sort_atom = 52.0;  // key build + LSD radix passes, per atom (parallel)
+  double scene_format_atom = 900.0;  // formatting one atom record in the chunked serializer
+  double rebuild_merge_residue = 260.0;  // serial block-scan anchor, per chunk, per scan
+
   // Short-lived Vec3 temporaries allocated per operation when the engine is
   // in Java-temporaries mode (Section V-B's convenience class).  The LJ
   // inner loop allocates per pair (the dominant churn); the Coulomb kernel

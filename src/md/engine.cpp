@@ -346,7 +346,47 @@ void Engine::exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, 
   }
 }
 
-void Engine::master_rebuild_prologue(sim::Machine* machine) {
+void Engine::charge_rebuild_phase(sim::Machine* machine, int tag, double per_item,
+                                  long long n_items, double per_item2,
+                                  long long n_items2) {
+  if (machine == nullptr) return;
+  // One compute-only task per modelled worker, each carrying its contiguous
+  // 1/N share of the item count(s) — mirroring the native fan-out, where the
+  // engine decomposes the rebuild into n_threads chunks.  Compute-only tasks
+  // (no accesses) are legal phase citizens: the machine times them and the
+  // per-(phase, core) counter domains still conserve.
+  const int nt = config_.n_threads;
+  auto share = [nt](long long m, int w) {
+    return static_cast<double>(m * (w + 1) / nt - m * w / nt);
+  };
+  phase_work_.clear();
+  phase_work_.tag = tag;
+  phase_work_.assignment = config_.assignment;
+  phase_work_.tasks.reserve(static_cast<std::size_t>(nt));
+  for (int w = 0; w < nt; ++w) {
+    sim::SimTask t;
+    t.owner = w;
+    t.compute_cycles = per_item * share(n_items, w) + per_item2 * share(n_items2, w);
+    phase_work_.tasks.push_back(t);
+  }
+  machine->run_phase(phase_work_, 0);
+  // The serial residue every two-level scan keeps: the O(chunks) anchor
+  // merge on the master.
+  machine->run_serial(config_.costs.rebuild_merge_residue * nt);
+}
+
+void Engine::master_rebuild_prologue(parallel::FixedThreadPool* pool,
+                                     sim::Machine* machine) {
+  // parallel_rebuild routes the housekeeping passes through the worker pool;
+  // every parallel overload is bit/byte-identical to its serial reference
+  // (see cell_grid/morton/neighbor_list), so the trajectory cannot depend on
+  // this switch.  The traced backend has no pool — it executes the serial
+  // path — but charges the machine as if the fan-out ran, mirroring how the
+  // traced force phases execute inline yet are timed as parallel work.
+  parallel::FixedThreadPool* rebuild_pool = config_.parallel_rebuild ? pool : nullptr;
+  const int chunks = config_.n_threads;
+  const long long n = sys_.n_atoms();
+
   // Morton pass: physically permute the atom arrays into Z-order before the
   // grid/list rebuild, so the fresh cells, reference snapshot and CSR rows
   // are all built against the new storage order.  This point in the step is
@@ -355,19 +395,31 @@ void Engine::master_rebuild_prologue(sim::Machine* machine) {
   // raw indices across the rebuild.
   if (config_.reorder_interval > 0 &&
       nlist_.rebuild_count() % config_.reorder_interval == 0) {
-    const std::vector<int> order = morton_order(sys_.positions(), sys_.box().lo,
-                                                sys_.box().hi, config_.cutoff + config_.skin);
+    const std::vector<int> order =
+        rebuild_pool != nullptr
+            ? morton_order(sys_.positions(), sys_.box().lo, sys_.box().hi,
+                           config_.cutoff + config_.skin, rebuild_pool, chunks)
+            : morton_order(sys_.positions(), sys_.box().lo, sys_.box().hi,
+                           config_.cutoff + config_.skin);
     sys_.permute(order);
     heap_.permute_objects(order);
     if (machine != nullptr) {
-      machine->run_serial(config_.costs.reorder_atom * sys_.n_atoms());
+      if (config_.parallel_rebuild) {
+        // Key build + radix passes fan out; the state permutation itself
+        // stays a serial master gather (it is in the native path too).
+        charge_rebuild_phase(machine, kPhaseMortonSort, config_.costs.morton_sort_atom, n);
+        machine->run_serial(config_.costs.reorder_atom * sys_.n_atoms());
+      } else {
+        machine->run_serial(config_.costs.reorder_atom * sys_.n_atoms());
+      }
     }
   }
 
-  // Serial master work: repopulate the linked cells, snapshot reference
+  // Repopulate the linked cells (parallel counting sort under
+  // parallel_rebuild, the serial reference otherwise), snapshot reference
   // positions, and (for the data-packing experiment) request an object
   // reorder in cell-traversal order.
-  grid_.bin(sys_.positions());
+  grid_.bin(sys_.positions(), rebuild_pool, chunks);
   nlist_.begin_rebuild(sys_.positions());
   if (config_.reorder_on_rebuild) {
     std::vector<int> order;
@@ -380,7 +432,13 @@ void Engine::master_rebuild_prologue(sim::Machine* machine) {
     heap_.reorder(order);
   }
   if (machine != nullptr) {
-    machine->run_serial(config_.costs.bin_atom * sys_.n_atoms());
+    if (config_.parallel_rebuild) {
+      charge_rebuild_phase(machine, kPhaseBin,
+                           config_.costs.bin_count_atom + config_.costs.bin_scatter_atom,
+                           n, config_.costs.bin_merge_cell, grid_.n_cells());
+    } else {
+      machine->run_serial(config_.costs.bin_atom * sys_.n_atoms());
+    }
   }
 }
 
@@ -414,24 +472,35 @@ void Engine::step(parallel::FixedThreadPool* pool, sim::Machine* machine) {
   // accumulation slot's serial chain sees aux-then-LJ, so the schedules are
   // bit-identical.
   if (rebuild_now_) {
-    master_rebuild_prologue(machine);
+    master_rebuild_prologue(pool, machine);
     pack_charges();
+    // CSR prefix sum: the two-level parallel block scan under
+    // parallel_rebuild (exact integer arithmetic — identical offsets), the
+    // serial reference scan otherwise.  This is the serial barrier the
+    // overlapped schedule used to leave between the count pass and the LJ
+    // fill; parallelizing it removes the last O(n) master-side stretch.
+    auto finalize = [&] {
+      nlist_.finalize_offsets(config_.parallel_rebuild ? pool : nullptr,
+                              config_.n_threads);
+      if (machine != nullptr) {
+        if (config_.parallel_rebuild) {
+          charge_rebuild_phase(machine, kPhaseNbrPrefix,
+                               config_.costs.nbr_prefix_atom, sys_.n_atoms());
+        } else {
+          machine->run_serial(config_.costs.nbr_prefix_atom * sys_.n_atoms());
+        }
+      }
+    };
     if (config_.overlap_rebuild) {
       std::vector<TaskDesc> fused = neighbor_count_tasks();
       const std::vector<TaskDesc> aux = forces_aux_tasks();
       fused.insert(fused.end(), aux.begin(), aux.end());
       exec_phase(pool, machine, kPhaseOverlap, fused);
-      nlist_.finalize_offsets();
-      if (machine != nullptr) {
-        machine->run_serial(config_.costs.nbr_prefix_atom * sys_.n_atoms());
-      }
+      finalize();
       exec_phase(pool, machine, kPhaseForces, forces_lj_tasks());
     } else {
       exec_phase(pool, machine, kPhaseNeighborCount, neighbor_count_tasks());
-      nlist_.finalize_offsets();
-      if (machine != nullptr) {
-        machine->run_serial(config_.costs.nbr_prefix_atom * sys_.n_atoms());
-      }
+      finalize();
       exec_phase(pool, machine, kPhaseForces, forces_phase_tasks());
     }
   } else {
@@ -555,7 +624,7 @@ void Engine::run_simulated(sim::Machine& machine, int n_steps) {
 
 void Engine::compute_forces_only() {
   rebuild_now_ = true;
-  master_rebuild_prologue(nullptr);
+  master_rebuild_prologue(nullptr, nullptr);
   pack_charges();
   NullMem mem;
   for (const TaskDesc& t : neighbor_count_tasks()) run_task(t, t.owner, mem);

@@ -119,6 +119,17 @@ struct EngineConfig {
   // Bit-identical to the dense sweep (untouched entries are exactly +0.0);
   // off switch exists for the bench/sparse_reduce.cpp comparison.
   bool sparse_reduction = true;
+
+  // Run the rebuild/housekeeping pipeline — cell binning, the CSR prefix
+  // sum, and the Morton sort — on the worker pool instead of serially on the
+  // master.  Every parallel path is bit/byte-identical to its serial
+  // reference by construction (deterministic counting sort, exact integer
+  // block scans, stable LSD radix), so this is purely a wall-clock switch;
+  // the off position exists for the serial-vs-parallel scaling ablation.
+  // The simulated backend mirrors the choice in the cost model: on, the
+  // rebuild is charged as parallel phases (kPhaseBin / kPhaseNbrPrefix /
+  // kPhaseMortonSort); off, as the paper's serial master-side lump.
+  bool parallel_rebuild = true;
 };
 
 // Phase identifiers used as event-log tags.
@@ -130,6 +141,9 @@ enum PhaseId : int {
   kPhaseReduce = 5,
   kPhaseCorrector = 6,
   kPhaseOverlap = 7,        // CSR count pass fused with non-LJ forces
+  kPhaseBin = 8,            // parallel cell binning (parallel_rebuild)
+  kPhaseNbrPrefix = 9,      // parallel CSR block scan (parallel_rebuild)
+  kPhaseMortonSort = 10,    // parallel Morton key build + radix sort
 };
 
 class Engine {
@@ -269,7 +283,15 @@ class Engine {
   void step(parallel::FixedThreadPool* pool, sim::Machine* machine);
   void exec_phase(parallel::FixedThreadPool* pool, sim::Machine* machine, int tag,
                   const std::vector<TaskDesc>& tasks);
-  void master_rebuild_prologue(sim::Machine* machine);
+  void master_rebuild_prologue(parallel::FixedThreadPool* pool, sim::Machine* machine);
+  // Charges one rebuild phase to the simulator as parallel work: one
+  // compute-only task per modelled worker carrying its static 1/N share of
+  // per_item * n_items (+ an optional second term), followed by the serial
+  // block-scan residue.  Counter conservation holds per (phase, core) like
+  // every traced phase.
+  void charge_rebuild_phase(sim::Machine* machine, int tag, double per_item,
+                            long long n_items, double per_item2 = 0.0,
+                            long long n_items2 = 0);
   void pack_charges();
   void place_first_touch(parallel::FixedThreadPool& pool);
 

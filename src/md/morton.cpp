@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/require.hpp"
+#include "parallel/chunked.hpp"
 
 namespace mwx::md {
 
@@ -40,6 +42,12 @@ std::uint64_t morton3(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
 
 std::vector<int> morton_order(std::span<const Vec3> positions, const Vec3& lo,
                               const Vec3& hi, double cell_width) {
+  return morton_order(positions, lo, hi, cell_width, nullptr, 1);
+}
+
+std::vector<int> morton_order(std::span<const Vec3> positions, const Vec3& lo,
+                              const Vec3& hi, double cell_width,
+                              parallel::FixedThreadPool* pool, int n_chunks) {
   require(cell_width > 0.0, "cell width must be positive");
   const Vec3 ext = hi - lo;
   const int nx = axis_cells(ext.x, cell_width);
@@ -50,22 +58,79 @@ std::vector<int> morton_order(std::span<const Vec3> positions, const Vec3& lo,
   const double inv_wz = static_cast<double>(nz) / ext.z;
 
   const int n = static_cast<int>(positions.size());
+  const bool serial = pool == nullptr || n_chunks <= 1 || n < 2;
+  const int chunks = serial ? 1 : std::min(n_chunks, n);
+
   std::vector<std::uint64_t> key(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const Vec3& p = positions[static_cast<std::size_t>(i)];
-    key[static_cast<std::size_t>(i)] =
-        morton3(static_cast<std::uint32_t>(quantize(p.x, lo.x, inv_wx, nx)),
-                static_cast<std::uint32_t>(quantize(p.y, lo.y, inv_wy, ny)),
-                static_cast<std::uint32_t>(quantize(p.z, lo.z, inv_wz, nz)));
-  }
+  parallel::for_chunks(serial ? nullptr : pool, chunks, n,
+                       [&](int, long long b, long long e) {
+    for (long long i = b; i < e; ++i) {
+      const Vec3& p = positions[static_cast<std::size_t>(i)];
+      key[static_cast<std::size_t>(i)] =
+          morton3(static_cast<std::uint32_t>(quantize(p.x, lo.x, inv_wx, nx)),
+                  static_cast<std::uint32_t>(quantize(p.y, lo.y, inv_wy, ny)),
+                  static_cast<std::uint32_t>(quantize(p.z, lo.z, inv_wz, nz)));
+    }
+  });
 
   std::vector<int> order(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
-  // Stable: equal keys (same cell) keep their current relative order, so the
-  // pass is idempotent on an already-ordered system and fully deterministic.
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return key[static_cast<std::size_t>(a)] < key[static_cast<std::size_t>(b)];
-  });
+  std::iota(order.begin(), order.end(), 0);
+  if (serial) {
+    // Stable: equal keys (same cell) keep their current relative order, so
+    // the pass is idempotent on an already-ordered system and fully
+    // deterministic.  This is the reference the radix path must reproduce.
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return key[static_cast<std::size_t>(a)] < key[static_cast<std::size_t>(b)];
+    });
+    return order;
+  }
+
+  // Stable LSD radix over 8-bit digits.  Each pass is a stable partition by
+  // one digit (per-chunk histograms; digit-major chunk-minor exclusive scan;
+  // per-chunk in-order scatter), so after the last pass the permutation is
+  // THE stable sort by key — there is only one — and equals the serial
+  // std::stable_sort bit for bit, independent of the chunk count.  The pass
+  // count comes from the largest representable key for this cell geometry
+  // (not from the data), keeping it deterministic and data-independent.
+  const std::uint64_t max_key =
+      morton3(static_cast<std::uint32_t>(nx - 1), static_cast<std::uint32_t>(ny - 1),
+              static_cast<std::uint32_t>(nz - 1));
+  int passes = 1;
+  while ((max_key >> (8 * passes)) != 0) ++passes;
+
+  std::vector<int> alt(static_cast<std::size_t>(n));
+  std::vector<int>* src = &order;
+  std::vector<int>* dst = &alt;
+  std::vector<std::size_t> hist(static_cast<std::size_t>(chunks) * 256);
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = 8 * pass;
+    std::fill(hist.begin(), hist.end(), 0);
+    parallel::for_chunks(pool, chunks, n, [&](int k, long long b, long long e) {
+      std::size_t* h = hist.data() + static_cast<std::size_t>(k) * 256;
+      for (long long i = b; i < e; ++i) {
+        ++h[(key[static_cast<std::size_t>((*src)[static_cast<std::size_t>(i)])] >> shift) &
+            255];
+      }
+    });
+    std::size_t run = 0;  // O(256 * chunks) serial residue
+    for (int d = 0; d < 256; ++d) {
+      for (int k = 0; k < chunks; ++k) {
+        std::size_t& h = hist[static_cast<std::size_t>(k) * 256 + static_cast<std::size_t>(d)];
+        const std::size_t count = h;
+        h = run;
+        run += count;
+      }
+    }
+    parallel::for_chunks(pool, chunks, n, [&](int k, long long b, long long e) {
+      std::size_t* h = hist.data() + static_cast<std::size_t>(k) * 256;
+      for (long long i = b; i < e; ++i) {
+        const int a = (*src)[static_cast<std::size_t>(i)];
+        (*dst)[h[(key[static_cast<std::size_t>(a)] >> shift) & 255]++] = a;
+      }
+    });
+    std::swap(src, dst);
+  }
+  if (src != &order) order = std::move(alt);
   return order;
 }
 

@@ -16,6 +16,10 @@
 
 #include "common/vec3.hpp"
 
+namespace mwx::parallel {
+class FixedThreadPool;
+}  // namespace mwx::parallel
+
 namespace mwx::md {
 
 // Interleaves the low 21 bits of x, y, z into a 63-bit Z-order key
@@ -31,6 +35,18 @@ namespace mwx::md {
 // is deterministic for a given input regardless of worker count.
 [[nodiscard]] std::vector<int> morton_order(std::span<const Vec3> positions, const Vec3& lo,
                                             const Vec3& hi, double cell_width);
+
+// Parallel variant: the key build fans out over index-contiguous chunks
+// (identical expressions — identical key bits) and std::stable_sort is
+// replaced by a stable LSD radix sort on the packed 64-bit keys: per-chunk
+// digit histograms, one digit-major/chunk-minor exclusive scan, and a stable
+// per-chunk scatter per 8-bit pass.  A stable sort's permutation is unique,
+// so the result equals the serial overload's std::stable_sort output exactly,
+// for any pool width or chunk count.  Null pool falls back to the serial
+// reference.
+[[nodiscard]] std::vector<int> morton_order(std::span<const Vec3> positions, const Vec3& lo,
+                                            const Vec3& hi, double cell_width,
+                                            parallel::FixedThreadPool* pool, int n_chunks);
 
 // Inverse permutation: inverse[new_order[k]] = k.  Validates that new_order
 // is a permutation of [0, n).

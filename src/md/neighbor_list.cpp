@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/chunked.hpp"
+
 namespace mwx::md {
 
 NeighborList::NeighborList(int n_atoms, double cutoff, double skin)
@@ -33,6 +35,45 @@ void NeighborList::finalize_offsets() {
   // sees it, and writing from the filling worker is what places the pages.
   if (entries_.size() < total_) entries_.resize_uninitialized(total_);
   std::fill(cursor_.begin(), cursor_.end(), 0);
+}
+
+void NeighborList::finalize_offsets(parallel::FixedThreadPool* pool, int n_chunks) {
+  const std::size_t n = counts_.size();
+  if (pool == nullptr || n_chunks <= 1 || n < 2) {
+    finalize_offsets();
+    return;
+  }
+  const int chunks = static_cast<int>(
+      std::min(static_cast<long long>(n_chunks), static_cast<long long>(n)));
+  scan_bases_.assign(static_cast<std::size_t>(chunks) + 1, 0);
+  // Pass 1: chunk-local exclusive prefixes + chunk totals.
+  parallel::for_chunks(pool, chunks, static_cast<long long>(n),
+                       [&](int k, long long b, long long e) {
+    std::size_t running = 0;
+    for (long long i = b; i < e; ++i) {
+      offsets_[static_cast<std::size_t>(i)] = running;
+      running += static_cast<std::size_t>(counts_[static_cast<std::size_t>(i)]);
+    }
+    scan_bases_[static_cast<std::size_t>(k) + 1] = running;
+  });
+  // Serial anchor: O(chunks), not O(n_atoms) — the whole point.
+  for (int k = 0; k < chunks; ++k) {
+    scan_bases_[static_cast<std::size_t>(k) + 1] += scan_bases_[static_cast<std::size_t>(k)];
+  }
+  // Pass 2: add the chunk base back and reset this chunk's fill cursors.
+  parallel::for_chunks(pool, chunks, static_cast<long long>(n),
+                       [&](int k, long long b, long long e) {
+    const std::size_t base = scan_bases_[static_cast<std::size_t>(k)];
+    for (long long i = b; i < e; ++i) {
+      offsets_[static_cast<std::size_t>(i)] += base;
+      cursor_[static_cast<std::size_t>(i)] = 0;
+    }
+  });
+  total_ = scan_bases_[static_cast<std::size_t>(chunks)];
+  offsets_[n] = total_;
+  // Same grow-only discipline as the serial path: the grown tail stays
+  // untouched here so the parallel fill pass still first-touches the pages.
+  if (entries_.size() < total_) entries_.resize_uninitialized(total_);
 }
 
 bool NeighborList::chunk_exceeds_skin(std::span<const Vec3> positions, int begin,

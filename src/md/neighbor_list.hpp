@@ -35,6 +35,10 @@
 #include "common/require.hpp"
 #include "common/vec3.hpp"
 
+namespace mwx::parallel {
+class FixedThreadPool;
+}  // namespace mwx::parallel
+
 namespace mwx::md {
 
 class NeighborList {
@@ -57,7 +61,15 @@ class NeighborList {
   // Serial barrier between count and fill: prefix-sums the counts into row
   // offsets, sizes the entry array to the exact total, and resets the fill
   // cursors.  total_entries() is finalized here — O(1) to read ever after.
+  // This serial scan is the reference the parallel overload must match.
   void finalize_offsets();
+  // Two-level parallel block scan: chunks compute local exclusive prefixes
+  // and totals, a tiny serial scan anchors the chunk bases, chunks add their
+  // base back (and reset their fill cursors) in a second sweep.  Exact
+  // integer arithmetic — offsets_/total_ are identical to the serial scan
+  // for any pool width or chunk count.  This removes the O(n_atoms) serial
+  // barrier from the overlap schedule (engine.cpp, kPhaseOverlap).
+  void finalize_offsets(parallel::FixedThreadPool* pool, int n_chunks);
   void add_neighbor(int i, int j) {
     auto& cur = cursor_[static_cast<std::size_t>(i)];
     require(cur < counts_[static_cast<std::size_t>(i)],
@@ -103,6 +115,7 @@ class NeighborList {
   // pass — each worker writing its own rows — is what first-touches (and
   // thereby NUMA-homes) the pages.
   PageVec<int> entries_;              // exactly total_ packed entries
+  std::vector<std::size_t> scan_bases_;  // parallel prefix: per-chunk totals/bases
   std::size_t total_ = 0;
   std::vector<Vec3> ref_pos_;
   long long rebuild_count_ = 0;

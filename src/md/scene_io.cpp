@@ -6,12 +6,41 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "parallel/chunked.hpp"
 
 namespace mwx::md {
 
 namespace {
 
-void save_scene_body(std::ostream& os, const MolecularSystem& sys) {
+// Writes the per-record lines for external IDs [0, n) through `emit`, in
+// order.  With a pool, index-contiguous chunks format into private streams
+// seeded with os's formatting state (copyfmt: flags, precision, locale) and
+// the parts are concatenated in chunk order — each record's bytes depend
+// only on that state and the record's own fields, so the concatenation is
+// exactly the serial byte stream.  (Every caller has already written header
+// lines through os, so there is no pending os.width() to replicate.)
+template <typename Emit>
+void write_records(std::ostream& os, int n, parallel::FixedThreadPool* pool, int n_chunks,
+                   const Emit& emit) {
+  if (pool == nullptr || n_chunks <= 1 || n < 2) {
+    for (int ext = 0; ext < n; ++ext) emit(os, ext);
+    return;
+  }
+  const int chunks = std::min(n_chunks, n);
+  std::vector<std::string> parts(static_cast<std::size_t>(chunks));
+  parallel::for_chunks(pool, chunks, n, [&](int k, long long b, long long e) {
+    std::ostringstream part;
+    part.copyfmt(os);
+    for (long long ext = b; ext < e; ++ext) emit(part, static_cast<int>(ext));
+    parts[static_cast<std::size_t>(k)] = std::move(part).str();
+  });
+  for (const std::string& part : parts) {
+    os.write(part.data(), static_cast<std::streamsize>(part.size()));
+  }
+}
+
+void save_scene_body(std::ostream& os, const MolecularSystem& sys,
+                     parallel::FixedThreadPool* pool, int n_chunks) {
   os << std::setprecision(17);
   const Box& box = sys.box();
   os << "box " << box.lo.x << ' ' << box.lo.y << ' ' << box.lo.z << ' ' << box.hi.x << ' '
@@ -25,14 +54,16 @@ void save_scene_body(std::ostream& os, const MolecularSystem& sys) {
   // external IDs, so a scene saved after any number of Morton reorders is
   // byte-identical to the same scene saved before them.  load_scene assigns
   // external ID == index, closing the round trip.
-  for (int ext = 0; ext < sys.n_atoms(); ++ext) {
+  write_records(os, sys.n_atoms(), pool, n_chunks, [&sys](std::ostream& out, int ext) {
     const int i = sys.index_of_external(ext);
     const Vec3& p = sys.positions()[static_cast<std::size_t>(i)];
     const Vec3& v = sys.velocities()[static_cast<std::size_t>(i)];
-    os << "atom " << sys.type_of(i) << ' ' << p.x << ' ' << p.y << ' ' << p.z << ' ' << v.x
-       << ' ' << v.y << ' ' << v.z << ' ' << sys.charge(i) << ' ' << (sys.movable(i) ? 1 : 0)
-       << '\n';
-  }
+    out << "atom " << sys.type_of(i) << ' ' << p.x << ' ' << p.y << ' ' << p.z << ' ' << v.x
+        << ' ' << v.y << ' ' << v.z << ' ' << sys.charge(i) << ' ' << (sys.movable(i) ? 1 : 0)
+        << '\n';
+  });
+  // Bond records stay serial: the bond lists are tiny next to a 100k–1M-atom
+  // record block, and their order is list order, not external-ID order.
   for (const RadialBond& b : sys.radial_bonds()) {
     os << "rbond " << sys.external_id(b.a) << ' ' << sys.external_id(b.b) << ' ' << b.k << ' '
        << b.r0 << '\n';
@@ -51,26 +82,38 @@ void save_scene_body(std::ostream& os, const MolecularSystem& sys) {
 }  // namespace
 
 void save_scene(std::ostream& os, const MolecularSystem& sys) {
+  save_scene(os, sys, nullptr, 1);
+}
+
+void save_scene(std::ostream& os, const MolecularSystem& sys,
+                parallel::FixedThreadPool* pool, int n_chunks) {
   os << "mws 1\n";
-  save_scene_body(os, sys);
+  save_scene_body(os, sys, pool, n_chunks);
 }
 
 void save_checkpoint_scene(std::ostream& os, const MolecularSystem& sys,
                            std::span<const Vec3> nlist_ref) {
+  save_checkpoint_scene(os, sys, nlist_ref, nullptr, 1);
+}
+
+void save_checkpoint_scene(std::ostream& os, const MolecularSystem& sys,
+                           std::span<const Vec3> nlist_ref,
+                           parallel::FixedThreadPool* pool, int n_chunks) {
   require(static_cast<int>(nlist_ref.size()) == sys.n_atoms(),
           "checkpoint needs one neighbor reference position per atom");
   os << "mws 2\n";
-  save_scene_body(os, sys);
+  save_scene_body(os, sys, pool, n_chunks);
   // Checkpoint records, external-ID order like every per-atom record above.
-  for (int ext = 0; ext < sys.n_atoms(); ++ext) {
+  write_records(os, sys.n_atoms(), pool, n_chunks, [&sys](std::ostream& out, int ext) {
     const std::size_t i = static_cast<std::size_t>(sys.index_of_external(ext));
     const Vec3& a = sys.accelerations()[i];
-    os << "acc " << a.x << ' ' << a.y << ' ' << a.z << '\n';
-  }
-  for (int ext = 0; ext < sys.n_atoms(); ++ext) {
+    out << "acc " << a.x << ' ' << a.y << ' ' << a.z << '\n';
+  });
+  write_records(os, sys.n_atoms(), pool, n_chunks,
+                [&sys, nlist_ref](std::ostream& out, int ext) {
     const Vec3& r = nlist_ref[static_cast<std::size_t>(sys.index_of_external(ext))];
-    os << "nref " << r.x << ' ' << r.y << ' ' << r.z << '\n';
-  }
+    out << "nref " << r.x << ' ' << r.y << ' ' << r.z << '\n';
+  });
 }
 
 MolecularSystem load_scene(std::istream& is, std::vector<Vec3>* nlist_ref) {

@@ -37,10 +37,25 @@
 
 #include "md/system.hpp"
 
+namespace mwx::parallel {
+class FixedThreadPool;
+}  // namespace mwx::parallel
+
 namespace mwx::md {
 
 // Writes `sys` in .mws form (version 1 — no checkpoint records; byte-stable).
 void save_scene(std::ostream& os, const MolecularSystem& sys);
+
+// Chunked parallel serializer: the per-atom records fan out over
+// index-contiguous external-ID ranges, each chunk formatting into a private
+// buffer seeded with the output stream's formatting state (the same
+// setprecision(17) discipline), and the buffers are concatenated in chunk
+// order.  Record text depends only on the stream state and the record's own
+// fields, so the output is byte-identical to the serial overload — SceneCache
+// FNV hashes and checkpoint round-trips are unaffected.  Null pool falls
+// back to the serial path.
+void save_scene(std::ostream& os, const MolecularSystem& sys,
+                parallel::FixedThreadPool* pool, int n_chunks);
 
 // Writes `sys` as an "mws 2" checkpoint: version-1 records plus per-atom
 // acc/nref lines.  `nlist_ref` is the neighbor list's reference-position
@@ -49,6 +64,12 @@ void save_scene(std::ostream& os, const MolecularSystem& sys);
 // checkpoint text is byte-stable across Morton reorders.
 void save_checkpoint_scene(std::ostream& os, const MolecularSystem& sys,
                            std::span<const Vec3> nlist_ref);
+
+// Chunked parallel checkpoint serializer (atom, acc and nref records all fan
+// out; byte-identical to the serial overload — see save_scene above).
+void save_checkpoint_scene(std::ostream& os, const MolecularSystem& sys,
+                           std::span<const Vec3> nlist_ref,
+                           parallel::FixedThreadPool* pool, int n_chunks);
 
 // Parses an .mws stream (version 1 or 2); throws ContractError with a line
 // number on malformed input.  When `nlist_ref` is non-null it receives the

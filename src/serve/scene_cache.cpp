@@ -5,19 +5,40 @@
 
 #include "md/engine.hpp"
 #include "md/scene_io.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mwx::serve {
 
+namespace {
+
+int resolve_chunks(parallel::FixedThreadPool* pool, int n_chunks) {
+  if (pool == nullptr) return 1;
+  return n_chunks > 0 ? n_chunks : pool->n_threads();
+}
+
+}  // namespace
+
 std::string scene_text(const md::MolecularSystem& sys) {
+  return scene_text(sys, nullptr, 1);
+}
+
+std::string scene_text(const md::MolecularSystem& sys, parallel::FixedThreadPool* pool,
+                       int n_chunks) {
   std::ostringstream os;
-  md::save_scene(os, sys);
+  md::save_scene(os, sys, pool, resolve_chunks(pool, n_chunks));
   return os.str();
 }
 
 std::string checkpoint_text(const md::Engine& engine) {
+  return checkpoint_text(engine, nullptr, 1);
+}
+
+std::string checkpoint_text(const md::Engine& engine, parallel::FixedThreadPool* pool,
+                            int n_chunks) {
   std::ostringstream os;
   md::save_checkpoint_scene(os, engine.system(),
-                            engine.neighbor_list().reference_positions());
+                            engine.neighbor_list().reference_positions(), pool,
+                            resolve_chunks(pool, n_chunks));
   return os.str();
 }
 

@@ -35,16 +35,33 @@ namespace mwx::md {
 class Engine;
 }  // namespace mwx::md
 
+namespace mwx::parallel {
+class FixedThreadPool;
+}  // namespace mwx::parallel
+
 namespace mwx::serve {
 
 // Serializes `sys` to its canonical .mws text (the cache key form).
 [[nodiscard]] std::string scene_text(const md::MolecularSystem& sys);
+
+// Pool-backed variant: formats the per-atom records through scene_io's
+// chunked parallel serializer.  Byte-identical to the serial overload — the
+// text (and hence content_hash) is the same dedup key either way; at 100k+
+// atoms the serialization stops being a serve-dispatch stall.  n_chunks <= 0
+// uses the pool's worker count.
+[[nodiscard]] std::string scene_text(const md::MolecularSystem& sys,
+                                     parallel::FixedThreadPool* pool, int n_chunks = 0);
 
 // Serializes a running engine's full continuation state to "mws 2"
 // checkpoint text: scene + accelerations + the neighbor list's
 // reference-position snapshot.  Restoring (load_scene with an nref receiver
 // + Engine::restore_continuation) resumes the trajectory bit-exactly.
 [[nodiscard]] std::string checkpoint_text(const md::Engine& engine);
+
+// Pool-backed variant (byte-identical; see scene_text above).
+[[nodiscard]] std::string checkpoint_text(const md::Engine& engine,
+                                          parallel::FixedThreadPool* pool,
+                                          int n_chunks = 0);
 
 class SceneCache {
  public:

@@ -388,6 +388,123 @@ MolecularSystem make_ionic(int n, std::uint64_t seed) {
   return sys;
 }
 
+MolecularSystem make_bulk_crystal(int n, double temperature_k, std::uint64_t seed) {
+  require(n > 0, "crystal needs at least one atom");
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kAr = types.add({"Ar", 39.95, ev(0.0104), 3.40});
+  // Smallest u x u x u block of 4-atom fcc unit cells holding >= n sites;
+  // we fill cells in lattice order and stop at exactly n atoms.
+  const double a = 5.26;  // solid-argon fcc lattice constant, Å
+  int u = 1;
+  while (4ll * u * u * u < n) ++u;
+  const double margin = 6.0;  // keep the free surface off the walls
+  const double side = u * a + 2.0 * margin;
+  Box box{{0, 0, 0}, {side, side, side}};
+  MolecularSystem sys(types, box);
+  const Vec3 basis[4] = {{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}};
+  std::vector<Site> sites;
+  sites.reserve(static_cast<std::size_t>(n));
+  for (int iz = 0; iz < u && static_cast<int>(sites.size()) < n; ++iz) {
+    for (int iy = 0; iy < u && static_cast<int>(sites.size()) < n; ++iy) {
+      for (int ix = 0; ix < u && static_cast<int>(sites.size()) < n; ++ix) {
+        for (const Vec3& b : basis) {
+          if (static_cast<int>(sites.size()) >= n) break;
+          const Vec3 p = Vec3{margin, margin, margin} +
+                         (Vec3{static_cast<double>(ix), static_cast<double>(iy),
+                               static_cast<double>(iz)} +
+                          b) *
+                             a;
+          sites.push_back({p, thermal_velocity(rng, 39.95, temperature_k), kAr, 0.0, true});
+        }
+      }
+    }
+  }
+  add_sites(sys, sites, rng, /*shuffle_order=*/true);
+  require(sys.n_atoms() == n, "bulk crystal atom count mismatch");
+  return sys;
+}
+
+MolecularSystem make_droplet(int n, double temperature_k, std::uint64_t seed) {
+  require(n >= 8, "droplet needs enough atoms for a core and a vapor shell");
+  Rng rng(seed);
+  AtomTypeTable types;
+  const int kAr = types.add({"Ar", 39.95, ev(0.0104), 3.40});
+  const int n_core = n / 2;
+
+  // Liquid core: fcc sites at liquid-argon density (~0.021 atoms/Å^3 ==
+  // fcc a ≈ 5.75 Å), kept if inside the sphere that holds ~n_core of them.
+  const double a = 5.75;
+  const double core_radius = std::cbrt(3.0 * n_core / (4.0 * 3.14159265358979323846 *
+                                                       (4.0 / (a * a * a))));
+  // Box: core plus a roomy vapor margin on every side.
+  const double side = 2.0 * core_radius + 14.0 * a;
+  Box box{{0, 0, 0}, {side, side, side}};
+  MolecularSystem sys(types, box);
+  const Vec3 center{side / 2.0, side / 2.0, side / 2.0};
+
+  std::vector<Site> sites;
+  sites.reserve(static_cast<std::size_t>(n));
+  const Vec3 basis[4] = {{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}};
+  const int u = static_cast<int>(std::ceil(2.0 * core_radius / a)) + 1;
+  const Vec3 lattice0 = center - Vec3{u * a / 2.0, u * a / 2.0, u * a / 2.0};
+  for (int iz = 0; iz < u && static_cast<int>(sites.size()) < n_core; ++iz) {
+    for (int iy = 0; iy < u && static_cast<int>(sites.size()) < n_core; ++iy) {
+      for (int ix = 0; ix < u && static_cast<int>(sites.size()) < n_core; ++ix) {
+        for (const Vec3& b : basis) {
+          if (static_cast<int>(sites.size()) >= n_core) break;
+          const Vec3 p = lattice0 + (Vec3{static_cast<double>(ix), static_cast<double>(iy),
+                                          static_cast<double>(iz)} +
+                                     b) *
+                                        a;
+          const Vec3 d = p - center;
+          if (d.x * d.x + d.y * d.y + d.z * d.z > core_radius * core_radius) continue;
+          sites.push_back({p, thermal_velocity(rng, 39.95, temperature_k), kAr, 0.0, true});
+        }
+      }
+    }
+  }
+  const int core_placed = static_cast<int>(sites.size());
+
+  // Vapor: a sparse cubic lattice over the whole box, skipping sites inside
+  // the core sphere (plus one lattice spacing of clearance), until the total
+  // reaches n.  Deterministic — same seed, same droplet.
+  const int n_vapor = n - core_placed;
+  int per_side = static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n_vapor)))) + 1;
+  for (;; ++per_side) {
+    // Count admissible vapor sites at this granularity before committing.
+    const double spacing = side / per_side;
+    const double clear2 = (core_radius + a) * (core_radius + a);
+    long long ok = 0;
+    for (int iz = 0; iz < per_side && ok < n_vapor; ++iz) {
+      for (int iy = 0; iy < per_side && ok < n_vapor; ++iy) {
+        for (int ix = 0; ix < per_side && ok < n_vapor; ++ix) {
+          const Vec3 p{(ix + 0.5) * spacing, (iy + 0.5) * spacing, (iz + 0.5) * spacing};
+          const Vec3 d = p - center;
+          if (d.x * d.x + d.y * d.y + d.z * d.z <= clear2) continue;
+          ++ok;
+        }
+      }
+    }
+    if (ok >= n_vapor) break;
+  }
+  const double spacing = side / per_side;
+  const double clear2 = (core_radius + a) * (core_radius + a);
+  for (int iz = 0; iz < per_side && static_cast<int>(sites.size()) < n; ++iz) {
+    for (int iy = 0; iy < per_side && static_cast<int>(sites.size()) < n; ++iy) {
+      for (int ix = 0; ix < per_side && static_cast<int>(sites.size()) < n; ++ix) {
+        const Vec3 p{(ix + 0.5) * spacing, (iy + 0.5) * spacing, (iz + 0.5) * spacing};
+        const Vec3 d = p - center;
+        if (d.x * d.x + d.y * d.y + d.z * d.z <= clear2) continue;
+        sites.push_back({p, thermal_velocity(rng, 39.95, temperature_k), kAr, 0.0, true});
+      }
+    }
+  }
+  add_sites(sys, sites, rng, /*shuffle_order=*/true);
+  require(sys.n_atoms() == n, "droplet atom count mismatch");
+  return sys;
+}
+
 TableRow table1_row(const BenchmarkSpec& spec) {
   return {spec.name, spec.system.n_atoms(), spec.system.n_charged(),
           spec.system.n_bonds_total(), spec.dominant};

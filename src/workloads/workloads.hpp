@@ -63,6 +63,22 @@ md::MolecularSystem make_chain(int n, std::uint64_t seed);
 // ablations (e.g. the PME crossover bench).
 md::MolecularSystem make_ionic(int n, std::uint64_t seed);
 
+// --- Workload-axis generators (the 100k–1M scaling sweep) --------------------
+// A bulk fcc argon crystal of ~`n` atoms (rounded up to a whole u x u x u
+// block of 4-atom fcc unit cells, a = 5.26 Å) with thermal velocities.
+// Homogeneous density — every cell holds the same few atoms, so this is the
+// pure workload-axis scaling point: rebuild cost grows O(n) with no
+// occupancy skew.  Creation order is shuffled (the scene-file idiom).
+md::MolecularSystem make_bulk_crystal(int n, double temperature_k, std::uint64_t seed);
+
+// A solvated droplet: ~half the atoms as a dense fcc liquid sphere at the
+// box center, the rest as a sparse vapor lattice around it.  Cell occupancy
+// spans dense-liquid to near-empty in one system — the irregular-occupancy
+// stress case for the parallel binning/prefix passes (chunk histograms see
+// wildly uneven rows; the output must still be byte-identical to serial).
+// Creation order is shuffled.
+md::MolecularSystem make_droplet(int n, double temperature_k, std::uint64_t seed);
+
 // Table I row data for reporting.
 struct TableRow {
   std::string name;

@@ -1,0 +1,351 @@
+// Determinism proofs for the parallel rebuild pipeline: every parallel
+// overload (cell binning, CSR prefix scan, Morton radix sort, chunked scene
+// serialization) must be bit/byte-identical to its serial reference at every
+// thread/chunk count, under every queue discipline — and the engine's
+// energies must not depend on the parallel_rebuild switch at all.  Plus the
+// >= 1M-atom integer-overflow guards (OverflowGuardTest — big-index address
+// models, no big allocations; deliberately outside the tsan preset filter).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "md/cell_grid.hpp"
+#include "md/engine.hpp"
+#include "md/layout.hpp"
+#include "md/morton.hpp"
+#include "md/neighbor_list.hpp"
+#include "md/scene_io.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/scene_cache.hpp"
+#include "sim/machine.hpp"
+#include "topo/machine_spec.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace mwx;
+using parallel::FixedThreadPool;
+using parallel::QueueMode;
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr QueueMode kModes[] = {QueueMode::Single, QueueMode::PerThread,
+                                QueueMode::WorkStealing};
+
+// A droplet-like workload keeps cell occupancy irregular: dense core, sparse
+// halo — the stress case for per-chunk histograms.
+md::MolecularSystem irregular_system(int n) {
+  return workloads::make_droplet(n, 110.0, 7);
+}
+
+void expect_grids_equal(const md::CellGrid& a, const md::CellGrid& b) {
+  ASSERT_EQ(a.n_cells(), b.n_cells());
+  ASSERT_EQ(a.n_binned(), b.n_binned());
+  for (int c = 0; c < a.n_cells(); ++c) {
+    ASSERT_EQ(a.cell_count(c), b.cell_count(c)) << "cell " << c;
+    ASSERT_TRUE(std::equal(a.cell_begin(c), a.cell_end(c), b.cell_begin(c)))
+        << "cell " << c;
+  }
+}
+
+TEST(RebuildParallelTest, BinningMatchesSerialAcrossThreadsAndModes) {
+  md::MolecularSystem sys = irregular_system(3000);
+  const double reach = 8.9;
+  md::CellGrid ref(sys.box().lo, sys.box().hi, reach);
+  ref.bin(sys.positions());
+  for (QueueMode mode : kModes) {
+    for (int t : kThreadCounts) {
+      FixedThreadPool pool({.n_threads = t, .queue_mode = mode});
+      md::CellGrid par(sys.box().lo, sys.box().hi, reach);
+      // Chunk counts both below and above the worker count.
+      for (int chunks : {1, 2, t, 3 * t}) {
+        par.bin(sys.positions(), &pool, chunks);
+        expect_grids_equal(ref, par);
+      }
+    }
+  }
+}
+
+TEST(RebuildParallelTest, BinningReusesHoistedCursorAcrossRebuilds) {
+  // Serial path regression for the hoisted cursor: repeated bins (with
+  // motion in between) stay correct — every atom lands in exactly one cell.
+  md::MolecularSystem sys = irregular_system(500);
+  md::CellGrid grid(sys.box().lo, sys.box().hi, 8.9);
+  Rng rng(3);
+  for (int pass = 0; pass < 3; ++pass) {
+    grid.bin(sys.positions());
+    ASSERT_EQ(grid.n_binned(), static_cast<std::size_t>(sys.n_atoms()));
+    std::vector<bool> seen(static_cast<std::size_t>(sys.n_atoms()), false);
+    for (int c = 0; c < grid.n_cells(); ++c) {
+      for (const int* it = grid.cell_begin(c); it != grid.cell_end(c); ++it) {
+        ASSERT_FALSE(seen[static_cast<std::size_t>(*it)]);
+        seen[static_cast<std::size_t>(*it)] = true;
+      }
+    }
+    for (auto& p : sys.positions()) {
+      p.x += rng.uniform(-0.5, 0.5);
+      p.y += rng.uniform(-0.5, 0.5);
+    }
+  }
+}
+
+TEST(RebuildParallelTest, PrefixScanMatchesSerialAcrossThreadsAndModes) {
+  const int n = 5000;
+  md::MolecularSystem sys = irregular_system(n);
+  md::NeighborList ref(n, 8.0, 0.9);
+  ref.begin_rebuild(sys.positions());
+  // Irregular counts, including long zero runs (empty vapor rows).
+  auto set_counts = [n](md::NeighborList& nl) {
+    for (int i = 0; i < n; ++i) {
+      nl.set_count(i, i % 5 == 0 ? 0 : static_cast<int>((i * 13 + 5) % 97));
+    }
+  };
+  set_counts(ref);
+  ref.finalize_offsets();
+  for (QueueMode mode : kModes) {
+    for (int t : kThreadCounts) {
+      FixedThreadPool pool({.n_threads = t, .queue_mode = mode});
+      md::NeighborList par(n, 8.0, 0.9);
+      for (int chunks : {1, 2, t, 3 * t}) {
+        par.begin_rebuild(sys.positions());
+        set_counts(par);
+        par.finalize_offsets(&pool, chunks);
+        ASSERT_EQ(ref.total_entries(), par.total_entries());
+        for (int i = 0; i < n; ++i) {
+          ASSERT_EQ(ref.entry_index(i, 0), par.entry_index(i, 0)) << "row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RebuildParallelTest, MortonRadixMatchesStableSortAcrossThreadsAndModes) {
+  md::MolecularSystem sys = irregular_system(4000);
+  const double reach = 8.9;
+  const std::vector<int> ref =
+      md::morton_order(sys.positions(), sys.box().lo, sys.box().hi, reach);
+  for (QueueMode mode : kModes) {
+    for (int t : kThreadCounts) {
+      FixedThreadPool pool({.n_threads = t, .queue_mode = mode});
+      for (int chunks : {1, 2, t, 3 * t}) {
+        EXPECT_EQ(ref, md::morton_order(sys.positions(), sys.box().lo, sys.box().hi,
+                                        reach, &pool, chunks));
+      }
+    }
+  }
+}
+
+TEST(RebuildParallelTest, SceneTextByteIdenticalAcrossThreadsAndModes) {
+  md::MolecularSystem sys = irregular_system(2000);
+  const std::string ref = serve::scene_text(sys);
+  const std::uint64_t ref_hash = serve::SceneCache::content_hash(ref);
+  for (QueueMode mode : kModes) {
+    for (int t : kThreadCounts) {
+      FixedThreadPool pool({.n_threads = t, .queue_mode = mode});
+      for (int chunks : {1, 2, t, 3 * t}) {
+        const std::string par = serve::scene_text(sys, &pool, chunks);
+        ASSERT_EQ(ref, par);
+        ASSERT_EQ(ref_hash, serve::SceneCache::content_hash(par));
+      }
+    }
+  }
+}
+
+TEST(RebuildParallelTest, EngineEnergiesIndependentOfParallelRebuild) {
+  // The full pipeline through the engine: every (backend x queue mode x
+  // parallel_rebuild) combination must report bitwise-equal energies, with
+  // the Morton pass on every rebuild (reorder_interval = 1).
+  auto energies = [](bool parallel_rebuild, int pool_threads,
+                     QueueMode mode) -> std::vector<double> {
+    workloads::BenchmarkSpec spec = workloads::make_al1000();
+    md::EngineConfig cfg = spec.engine;
+    cfg.n_threads = 4;
+    cfg.reorder_interval = 1;
+    cfg.parallel_rebuild = parallel_rebuild;
+    md::Engine engine(std::move(spec.system), cfg);
+    std::vector<double> out;
+    if (pool_threads == 0) {
+      for (int s = 0; s < 6; ++s) {
+        engine.run_inline(1);
+        out.push_back(engine.total_energy());
+        out.push_back(engine.potential_energy());
+      }
+    } else {
+      FixedThreadPool pool({.n_threads = pool_threads, .queue_mode = mode});
+      for (int s = 0; s < 6; ++s) {
+        engine.run_native(pool, 1);
+        out.push_back(engine.total_energy());
+        out.push_back(engine.potential_energy());
+      }
+    }
+    return out;
+  };
+  const std::vector<double> ref = energies(false, 0, QueueMode::Single);
+  ASSERT_EQ(ref.size(), 12u);
+  EXPECT_EQ(ref, energies(true, 0, QueueMode::Single));  // inline, no pool
+  for (QueueMode mode : kModes) {
+    for (int t : {1, 2, 4, 8}) {
+      EXPECT_EQ(ref, energies(false, t, mode));
+      EXPECT_EQ(ref, energies(true, t, mode));
+    }
+  }
+}
+
+TEST(RebuildParallelTest, CheckpointRoundTripThroughParallelSerializer) {
+  // A checkpoint written by the chunked serializer must hash identically to
+  // the serial text AND restore bit-exactly.
+  workloads::BenchmarkSpec spec = workloads::make_al1000();
+  md::EngineConfig cfg = spec.engine;
+  cfg.n_threads = 4;
+  md::Engine engine(std::move(spec.system), cfg);
+  FixedThreadPool pool({.n_threads = 4});
+  engine.run_native(pool, 4);
+
+  const std::string serial_text = serve::checkpoint_text(engine);
+  const std::string par_text = serve::checkpoint_text(engine, &pool);
+  ASSERT_EQ(serial_text, par_text);
+  ASSERT_EQ(serve::SceneCache::content_hash(serial_text),
+            serve::SceneCache::content_hash(par_text));
+
+  std::istringstream is(par_text);
+  std::vector<Vec3> refs;
+  md::MolecularSystem restored = md::load_scene(is, &refs);
+  md::Engine resumed(std::move(restored), cfg);
+  resumed.restore_continuation(refs);
+
+  engine.run_native(pool, 3);
+  resumed.run_native(pool, 3);
+  EXPECT_EQ(engine.total_energy(), resumed.total_energy());
+  EXPECT_EQ(engine.potential_energy(), resumed.potential_energy());
+}
+
+TEST(RebuildParallelTest, SimulatedBackendChargesParallelRebuildPhases) {
+  workloads::BenchmarkSpec spec = workloads::make_al1000();
+  md::EngineConfig cfg = spec.engine;
+  cfg.n_threads = 4;
+  cfg.reorder_interval = 1;
+  cfg.parallel_rebuild = true;
+  md::Engine engine(std::move(spec.system), cfg);
+  sim::MachineConfig mc;
+  mc.spec = topo::core_i7_920();
+  mc.n_threads = 4;
+  sim::Machine machine(mc);
+  engine.run_simulated(machine, 3);
+  ASSERT_GE(engine.rebuild_count(), 1);
+
+  // The new phase tags show up in the counter domains...
+  const std::vector<int> phases = machine.counter_phases();
+  auto has = [&phases](int tag) {
+    return std::find(phases.begin(), phases.end(), tag) != phases.end();
+  };
+  EXPECT_TRUE(has(md::kPhaseBin));
+  EXPECT_TRUE(has(md::kPhaseNbrPrefix));
+  EXPECT_TRUE(has(md::kPhaseMortonSort));
+
+  // ...and counter conservation holds across all domains (integer event
+  // counts must sum exactly to the global counters).
+  sim::MachineCounters sum;
+  for (int tag : phases) sum += machine.phase_counters(tag);
+  const sim::MachineCounters& g = machine.counters();
+  EXPECT_EQ(g.l1.hits, sum.l1.hits);
+  EXPECT_EQ(g.l1.misses, sum.l1.misses);
+  EXPECT_EQ(g.l2.misses, sum.l2.misses);
+  EXPECT_EQ(g.l3.misses, sum.l3.misses);
+  EXPECT_EQ(g.dram_line_fetches, sum.dram_line_fetches);
+  EXPECT_EQ(g.dram_writebacks, sum.dram_writebacks);
+}
+
+TEST(RebuildParallelTest, SimulatedEnergiesIndependentOfParallelRebuild) {
+  // The cost-model switch changes simulated *time*, never physics.
+  auto run = [](bool parallel_rebuild) {
+    workloads::BenchmarkSpec spec = workloads::make_al1000();
+    md::EngineConfig cfg = spec.engine;
+    cfg.n_threads = 2;
+    cfg.reorder_interval = 1;
+    cfg.parallel_rebuild = parallel_rebuild;
+    md::Engine engine(std::move(spec.system), cfg);
+    sim::MachineConfig mc;
+    mc.spec = topo::core_i7_920();
+    mc.n_threads = 2;
+    sim::Machine machine(mc);
+    engine.run_simulated(machine, 4);
+    return std::pair{engine.total_energy(), engine.potential_energy()};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// --- >= 1M-atom integer-overflow guards -------------------------------------
+// Named outside the tsan preset filter on purpose: these exercise address
+// models and guard paths, not concurrency.
+
+TEST(OverflowGuardTest, CellGridRejectsAxisCountOverflow) {
+  // A huge box with a tiny reach would overflow int cell indexing; the
+  // constructor must refuse it rather than wrap.
+  EXPECT_THROW(md::CellGrid({0, 0, 0}, {1e9, 1e9, 1e9}, 0.1), ContractError);
+  // Axis counts that fit individually but whose product overflows int.
+  EXPECT_THROW(md::CellGrid({0, 0, 0}, {2e6, 2e6, 2e6}, 1.0), ContractError);
+}
+
+TEST(OverflowGuardTest, CellGridHandlesMillionAtomOccupancy) {
+  // 1M synthetic positions on a coarse grid: start_/occupants_ stay
+  // consistent (the capacity/total bookkeeping is exercised well past any
+  // 16/32k boundary, with cell totals summing to exactly n).
+  const int n = 1000000;
+  std::vector<Vec3> pos(static_cast<std::size_t>(n));
+  Rng rng(11);
+  for (auto& p : pos) {
+    p = {rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+  }
+  md::CellGrid grid({0, 0, 0}, {200, 200, 200}, 10.0);
+  grid.bin(pos);
+  ASSERT_EQ(grid.n_binned(), static_cast<std::size_t>(n));
+  long long total = 0;
+  for (int c = 0; c < grid.n_cells(); ++c) total += grid.cell_count(c);
+  EXPECT_EQ(total, n);
+}
+
+TEST(OverflowGuardTest, NeighborListTotalsUse64BitArithmetic) {
+  // Synthetic high-density check: 1.2M rows x 1900 entries/row would
+  // overflow a 32-bit total (2.28e9); the CSR offsets must carry it.  No
+  // allocation happens before finalize, and we avoid the 9 GB entry array by
+  // checking the address model (HeapModel), which shares the same widths.
+  static_assert(sizeof(std::size_t) == 8, "CSR offsets must be 64-bit");
+  const md::HeapConfig hc;
+  md::HeapModel heap(hc, 1100000, 2048);
+  const std::uint64_t total =
+      1100000ull * static_cast<std::uint64_t>(heap.neighbor_entries_per_atom());
+  ASSERT_GT(total, 1ull << 31);
+  // Addresses must be strictly monotone through the 2^32-entry region.
+  const std::uint64_t a = heap.neighbor_entry_addr(total - 1);
+  const std::uint64_t b = heap.neighbor_entry_addr(total / 2);
+  const std::uint64_t c = heap.neighbor_entry_addr(0);
+  EXPECT_GT(a, b);
+  EXPECT_GT(b, c);
+  EXPECT_EQ(a - c, (total - 1) * 4);
+}
+
+TEST(OverflowGuardTest, EntryIndexIs64BitPerRow) {
+  // entry_index must not truncate row offsets in the billions.
+  md::NeighborList nl(3, 8.0, 0.9);
+  std::vector<Vec3> pos{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}};
+  nl.begin_rebuild(pos);
+  nl.set_count(0, 7);
+  nl.set_count(1, 5);
+  nl.set_count(2, 3);
+  nl.finalize_offsets();
+  static_assert(std::is_same_v<decltype(nl.entry_index(0, 0)), std::uint64_t>,
+                "entry_index must be 64-bit");
+  static_assert(std::is_same_v<decltype(nl.total_entries()), std::size_t>,
+                "total_entries must be 64-bit");
+  EXPECT_EQ(nl.entry_index(1, 0), 7u);
+  EXPECT_EQ(nl.entry_index(2, 0), 12u);
+  EXPECT_EQ(nl.total_entries(), 15u);
+}
+
+}  // namespace

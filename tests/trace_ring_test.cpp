@@ -219,7 +219,10 @@ TEST(TraceRingTest, SimulatedBackendEmitsComparableTrace) {
     }
   }
   EXPECT_EQ(steps, 2);
-  EXPECT_EQ(phases, 2 * 5 + engine.rebuild_count());
+  // Five dispatched phases per step, plus three per rebuild step: the CSR
+  // count phase and — with parallel_rebuild (the default) — the bin and
+  // prefix-scan phases the simulator now times as parallel work.
+  EXPECT_EQ(phases, 2 * 5 + 3 * engine.rebuild_count());
   EXPECT_GT(tasks, 0);
   // Simulated timestamps line up with the machine clock.
   EXPECT_NEAR(last_step_end, machine.now_seconds(), 1e-12);
