@@ -1,0 +1,167 @@
+// Planner validation: predicted-vs-measured over the full what-if grid.
+//
+// One instrumented Al-1000 run on the reference machine feeds perf::Planner;
+// every (Table II machine x queue discipline x pinning) candidate is then
+// BOTH predicted (from that single profile) and actually executed in the
+// simulator.  The bench prints the ranked table with per-config error and
+// exits nonzero when the best- or worst-ranked prediction misses its
+// measurement by more than the tolerance — the same gate ci.sh's
+// planner-smoke stage asserts through mwx_run --plan.
+//
+// Usage: planner_validation [steps=120] [threads=4] [tolerance_pct=15]
+// Emits BENCH_planner.json.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "md/cost_table.hpp"
+#include "md/engine.hpp"
+#include "perf/planner.hpp"
+#include "perf/trace_ring.hpp"
+#include "sim/machine.hpp"
+#include "topo/cpuset.hpp"
+#include "topo/machine_spec.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace mwx;
+
+md::Engine make_engine(const std::string& benchmark, const perf::PlanConfig& c) {
+  workloads::BenchmarkSpec spec = workloads::make_benchmark(benchmark);
+  md::EngineConfig cfg = spec.engine;
+  cfg.n_threads = c.n_threads;
+  cfg.assignment = c.assignment;
+  cfg.chunks_per_thread = c.chunks_per_thread;
+  return md::Engine(std::move(spec.system), cfg);
+}
+
+double run_config(const std::string& benchmark, int steps, const perf::PlanConfig& c) {
+  md::Engine engine = make_engine(benchmark, c);
+  sim::MachineConfig mc;
+  mc.spec = c.spec;
+  mc.n_threads = c.n_threads;
+  mc.record_events = false;
+  if (c.pinned) {
+    for (int i = 0; i < c.n_threads; ++i) {
+      mc.pin_masks.push_back(topo::CpuSet::of({(i % c.spec.n_cores()) * c.spec.smt_per_core}));
+    }
+  }
+  sim::Machine machine(mc);
+  engine.run_simulated(machine, steps);
+  return machine.now_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 120;
+  const int threads = argc > 2 ? std::max(1, std::atoi(argv[2])) : 4;
+  const double tol_pct = argc > 3 ? std::atof(argv[3]) : 15.0;
+  const std::string benchmark = "Al-1000";
+
+  // --- Instrumented reference run -------------------------------------------
+  perf::PlanConfig ref;
+  ref.spec = topo::core_i7_920();
+  ref.assignment = sim::Assignment::WorkStealing;
+  ref.pinned = false;
+  ref.n_threads = threads;
+  ref.chunks_per_thread = 4;
+
+  md::Engine engine = make_engine(benchmark, ref);
+  sim::MachineConfig mc;
+  mc.spec = ref.spec;
+  mc.n_threads = threads;
+  mc.record_events = true;
+  perf::TraceRing trace(threads + 1);
+  mc.trace = &trace;
+  sim::Machine machine(mc);
+  engine.run_simulated(machine, steps);
+
+  perf::RunMeta meta;
+  meta.benchmark = benchmark;
+  meta.steps = steps;
+  meta.n_threads = threads;
+  meta.slots = engine.n_slots();
+  meta.measured_seconds = machine.now_seconds();
+  meta.spec = ref.spec;
+  meta.assignment = ref.assignment;
+
+  perf::Planner planner(
+      perf::Planner::profile_from(trace.snapshot(), machine.pmu_report(), meta));
+  const auto& profile = planner.profile();
+  std::cout << "Planner validation: " << benchmark << ", " << steps << " steps, " << threads
+            << " threads\nreference " << ref.label() << " measured " << meta.measured_seconds
+            << "s; profile: " << profile.phases.size() << " phase classes, self-parallelism "
+            << profile.self_parallelism() << "\n\n";
+
+  // --- Predict + measure the whole grid -------------------------------------
+  std::vector<perf::Prediction> ranked = planner.rank(perf::Planner::default_grid(threads));
+  bench::JsonEmitter json("planner");
+  json.set_provider("sim");
+  json.note("reference", "config", ref.label());
+  json.metric("reference", "steps", steps);
+  json.metric("reference", "measured_seconds", meta.measured_seconds);
+  json.metric("reference", "self_parallelism", profile.self_parallelism());
+  json.metric("reference", "phase_classes", double(profile.phases.size()));
+  json.metric("search", "n_configs", double(ranked.size()));
+  json.metric("search", "tolerance_pct", tol_pct);
+
+  Table table({"Rank", "Config", "Predicted ms", "Measured ms", "Error %", "Speedup"});
+  double max_abs_err = 0.0, sum_abs_err = 0.0;
+  int rank = 1, failures = 0;
+  for (auto& pr : ranked) {
+    pr.measured_seconds =
+        pr.config.label() == ref.label() && pr.config.n_threads == threads
+            ? meta.measured_seconds
+            : run_config(benchmark, steps, pr.config);
+    pr.validated = true;
+    const double err = pr.error_pct();
+    max_abs_err = std::max(max_abs_err, std::fabs(err));
+    sum_abs_err += std::fabs(err);
+    table.row(rank, pr.config.label(), Table::fixed(pr.seconds * 1e3, 1),
+              Table::fixed(pr.measured_seconds * 1e3, 1), Table::fixed(err, 1),
+              Table::fixed(pr.speedup, 2));
+    const std::string g = "config." + pr.config.label();
+    json.metric(g, "rank", rank);
+    json.metric(g, "predicted_seconds", pr.seconds);
+    json.metric(g, "measured_seconds", pr.measured_seconds);
+    json.metric(g, "error_pct", err);
+    json.metric(g, "predicted_speedup", pr.speedup);
+    const bool extreme = rank == 1 || rank == static_cast<int>(ranked.size());
+    if (extreme && std::fabs(err) > tol_pct) {
+      std::cerr << "TOLERANCE EXCEEDED: " << pr.config.label() << " error " << err
+                << "% > " << tol_pct << "%\n";
+      ++failures;
+    }
+    ++rank;
+  }
+  table.print(std::cout);
+
+  // Did the ranking get the ordering right where it matters?  Compare the
+  // predicted-best against the measured-best.
+  const auto* measured_best = &ranked.front();
+  for (const auto& pr : ranked) {
+    if (pr.measured_seconds < measured_best->measured_seconds) measured_best = &pr;
+  }
+  json.metric("search", "max_abs_error_pct", max_abs_err);
+  json.metric("search", "mean_abs_error_pct", sum_abs_err / double(ranked.size()));
+  json.note("search", "predicted_best", ranked.front().config.label());
+  json.note("search", "measured_best", measured_best->config.label());
+  json.metric("search", "best_agrees",
+              ranked.front().config.label() == measured_best->config.label() ? 1.0 : 0.0);
+  std::cout << "\npredicted best: " << ranked.front().config.label()
+            << "\nmeasured  best: " << measured_best->config.label()
+            << "\nmean |error| " << sum_abs_err / double(ranked.size()) << "%, max |error| "
+            << max_abs_err << "%\n";
+  std::cout << "wrote " << json.write() << "\n";
+  if (failures > 0) {
+    std::cerr << failures << " extreme-rank prediction(s) outside " << tol_pct << "%\n";
+    return 1;
+  }
+  return 0;
+}

@@ -84,6 +84,48 @@ print("REPORT_ci OK: conservation holds,", len(report["summary"]), "summary metr
 EOF
 rm -rf "${counters_dir}"
 
+echo "== planner smoke: what-if predictions vs measured extremes =="
+# The prescriptive half of the observability stack: one instrumented Al-1000
+# run, the full machine x discipline x pinning grid ranked, and the ranked
+# extremes validated against actual simulated runs.  mwx_run --plan exits
+# nonzero itself when a validated extreme misses --plan-tol, so the tolerance
+# gate needs no re-parsing here; the python block asserts the PLAN artifact
+# schema and that mwx-report picked the plan section up.
+planner_dir=$(mktemp -d)
+(cd "${planner_dir}" && "${repo_root}/build/tools/mwx_run" Al-1000 120 4 --name plan --plan --plan-tol 15)
+python3 "${repo_root}/tools/mwx-report" --dir "${planner_dir}" --name plan
+python3 - "${planner_dir}" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+with open(os.path.join(d, "PLAN_plan.json")) as f:
+    plan = json.load(f)
+assert plan["kind"] == "plan" and plan["schema_version"] == 2
+assert plan["phase_names"]["4"] == "forces", "phase-name table missing from PLAN"
+ref = plan["reference"]
+assert ref["benchmark"] == "Al-1000" and ref["self_parallelism"] > 1.0
+tags = {(p["tag"], p["rebuild_step"]) for p in plan["profile"]}
+assert (4, False) in tags, "forces phase class missing"
+assert any(t in tags for t in [(8, True), (9, True)]), "rebuild phase classes missing"
+for p in plan["profile"]:
+    assert p["work_cycles"] >= 0 and p["self_parallelism"] >= 1.0
+configs = plan["configs"]
+assert len(configs) >= 12, f"only {len(configs)} configs ranked"
+assert [c["rank"] for c in configs] == list(range(1, len(configs) + 1))
+seconds = [c["predicted_seconds"] for c in configs]
+assert seconds == sorted(seconds), "ranking not sorted by predicted wall time"
+validated = [c for c in configs if c["validated"]]
+assert len(validated) >= 2, "ranked extremes were not validated"
+worst = max(abs(c["error_pct"]) for c in validated)
+assert worst <= plan["search"]["tolerance_pct"], f"validated error {worst:.1f}% over tolerance"
+assert plan["best"] == configs[0]["config"]
+md = open(os.path.join(d, "REPORT_plan.md")).read()
+assert "What-if plan" in md and configs[0]["config"] in md
+with open(os.path.join(d, "REPORT_plan.json")) as f:
+    assert f.read().find('"plan"') >= 0
+print(f"PLAN OK: {len(configs)} configs, {len(validated)} validated, worst error {worst:.1f}%")
+EOF
+rm -rf "${planner_dir}"
+
 echo "== bench smoke: raw_speed ablation emitter (tiny sizes) =="
 # The tier-2 speed ablation must keep its bit-identity guarantees (the bench
 # exits nonzero on any energy mismatch vs the scalar inline reference) and

@@ -8,7 +8,43 @@
 // bonded terms costlier still (trig, up to four atoms).
 #pragma once
 
+#include <map>
+#include <string>
+
 namespace mwx::md {
+
+// --- Phase-tag vocabulary ------------------------------------------------------
+// The single source of truth for engine phase-tag names (md::PhaseId values).
+// Every artifact emitter (PMU_*, TRACE_*, PLAN_*) embeds this table so
+// consumers (tools/mwx-report) never carry their own copy.  Tag 0 is untagged
+// pool work; engine.cpp static_asserts the PhaseId enum against these indices.
+inline constexpr const char* kPhaseTagNames[] = {
+    "untagged",        // 0
+    "predictor",       // 1  kPhasePredictor
+    "nlist-check",     // 2  kPhaseCheck
+    "neighbor-count",  // 3  kPhaseNeighborCount
+    "forces",          // 4  kPhaseForces
+    "reduce",          // 5  kPhaseReduce
+    "corrector",       // 6  kPhaseCorrector
+    "overlap",         // 7  kPhaseOverlap
+    "bin",             // 8  kPhaseBin
+    "nbr-prefix",      // 9  kPhaseNbrPrefix
+    "morton-sort",     // 10 kPhaseMortonSort
+};
+inline constexpr int kNumPhaseTags = sizeof(kPhaseTagNames) / sizeof(kPhaseTagNames[0]);
+
+// Stable name for a tag, or nullptr for tags outside the engine vocabulary
+// (consumers fall back to "phase-<tag>").
+[[nodiscard]] inline const char* phase_tag_name(int tag) {
+  return tag >= 0 && tag < kNumPhaseTags ? kPhaseTagNames[tag] : nullptr;
+}
+
+// The table as a map, in the shape the JSON emitters consume.
+[[nodiscard]] inline std::map<int, std::string> phase_tag_name_map() {
+  std::map<int, std::string> out;
+  for (int t = 0; t < kNumPhaseTags; ++t) out.emplace(t, kPhaseTagNames[t]);
+  return out;
+}
 
 struct CostTable {
   double predictor_atom = 28.0;

@@ -146,6 +146,11 @@ enum PhaseId : int {
   kPhaseMortonSort = 10,    // parallel Morton key build + radix sort
 };
 
+// The name table in cost_table.hpp is indexed by PhaseId; a new phase must
+// extend both in the same change.
+static_assert(kPhaseMortonSort == kNumPhaseTags - 1,
+              "kPhaseTagNames (cost_table.hpp) out of sync with PhaseId");
+
 class Engine {
  public:
   Engine(MolecularSystem sys, EngineConfig config);

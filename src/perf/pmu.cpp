@@ -128,6 +128,15 @@ void PmuReport::write_json(std::ostream& out, const std::string& name,
       << "  \"provider\": \"" << provider << "\",\n"
       << "  \"lane_kind\": \"" << lane_kind << "\",\n"
       << "  \"n_lanes\": " << n_lanes << ",\n";
+  if (!phase_names.empty()) {
+    out << "  \"phase_names\": {";
+    bool first = true;
+    for (const auto& [tag, pname] : phase_names) {
+      out << (first ? "\n" : ",\n") << "    \"" << tag << "\": \"" << pname << "\"";
+      first = false;
+    }
+    out << "\n  },\n";
+  }
   out << "  \"phases\": {";
   bool first_phase = true;
   for (const auto& [tag, row] : by_phase_) {

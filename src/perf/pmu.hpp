@@ -119,6 +119,11 @@ class PmuReport {
   std::string provider;   // "sim" | "perf_event" | "fallback"
   std::string lane_kind;  // "core" | "worker"
   int n_lanes = 0;
+  // Optional tag -> human name table (md::phase_tag_name_map()).  Emitted as
+  // "phase_names" when non-empty so report consumers never hard-code the
+  // engine's phase vocabulary.  Filled by the layer that knows the tags'
+  // meaning (the tools / the planner), not by the providers.
+  std::map<int, std::string> phase_names;
 
   // Mutable cell accessor; creates the phase row on first touch.
   [[nodiscard]] CounterSet& at(int phase, int lane);

@@ -82,8 +82,21 @@ void TraceRing::clear() {
   for (auto& lane : lanes_) lane->head.store(0, std::memory_order_release);
 }
 
-void write_chrome_trace(const TraceSnapshot& snapshot, std::ostream& out) {
-  out << "{\"traceEvents\":[";
+void write_chrome_trace(const TraceSnapshot& snapshot, std::ostream& out,
+                        const std::map<int, std::string>& phase_names) {
+  out << "{";
+  if (!phase_names.empty()) {
+    // Extra top-level keys are legal in the chrome://tracing object format;
+    // mwx-report reads this instead of hard-coding the tag vocabulary.
+    out << "\"phase_names\":{";
+    bool first = true;
+    for (const auto& [tag, name] : phase_names) {
+      out << (first ? "" : ",") << "\"" << tag << "\":\"" << name << "\"";
+      first = false;
+    }
+    out << "},\n";
+  }
+  out << "\"traceEvents\":[";
   bool first = true;
   for (const auto& m : snapshot.events) {
     if (!first) out << ",";

@@ -26,7 +26,9 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/require.hpp"
@@ -136,7 +138,11 @@ class TraceRing {
 };
 
 // Writes a snapshot in the chrome://tracing (about://tracing, Perfetto)
-// JSON array format: one complete "X" event per record, tid = lane.
-void write_chrome_trace(const TraceSnapshot& snapshot, std::ostream& out);
+// JSON object format: one complete "X" event per record, tid = lane.  A
+// non-empty `phase_names` table is embedded as a top-level "phase_names" key
+// (extra keys are legal in the object format) so consumers can render event
+// tags without a hard-coded copy of the engine's phase vocabulary.
+void write_chrome_trace(const TraceSnapshot& snapshot, std::ostream& out,
+                        const std::map<int, std::string>& phase_names = {});
 
 }  // namespace mwx::perf

@@ -228,6 +228,61 @@ TEST(TraceRingTest, SimulatedBackendEmitsComparableTrace) {
   EXPECT_NEAR(last_step_end, machine.now_seconds(), 1e-12);
 }
 
+// The PR 9 parallel-rebuild pipeline added three phases (bin, prefix scan,
+// Morton sort) per rebuild step, each bracketing one task per worker: a
+// rebuild-heavy run now writes enough events per step to lap an undersized
+// ring many times over.  Merge-at-read must degrade by *forgetting counted
+// history* — never by corrupting survivors or losing the newest events.
+TEST(TraceRingTest, RebuildPhasesLapSmallRingWithoutCorruption) {
+  workloads::BenchmarkSpec spec = workloads::make_al1000();
+  md::EngineConfig cfg = spec.engine;
+  cfg.n_threads = 2;
+  cfg.reorder_interval = 1;  // every rebuild runs bin + prefix + Morton sort
+  md::Engine engine(std::move(spec.system), cfg);
+
+  // 8 slots per lane vs ~10 phase/step events on the external lane alone:
+  // every lane wraps every step.
+  TraceRing ring(3, 8);
+  sim::MachineConfig mc;
+  mc.spec = topo::core_i7_920();
+  mc.n_threads = 2;
+  mc.trace = &ring;
+  sim::Machine machine(mc);
+  engine.run_simulated(machine, 8);
+  ASSERT_GT(engine.rebuild_count(), 0);
+
+  const TraceSnapshot snap = ring.snapshot();
+  EXPECT_GT(snap.dropped, 0u);
+  // Writers are quiescent, so the accounting must balance exactly.
+  EXPECT_EQ(snap.events.size() + snap.dropped, snap.total_records);
+  // Each lane keeps at most capacity - 1 survivors (the writer's next slot
+  // is excluded).
+  EXPECT_LE(snap.events.size(), 3u * (ring.capacity_per_lane() - 1));
+
+  double newest_end = 0.0;
+  for (const auto& m : snap.events) {
+    // Survivors are fully-formed: valid kind, causal interval, known lane.
+    EXPECT_LE(static_cast<int>(m.event.kind), static_cast<int>(TraceKind::SimStep));
+    EXPECT_GE(m.event.end, m.event.begin);
+    EXPECT_GE(m.event.begin, 0.0);
+    EXPECT_LT(m.lane, 3);
+    newest_end = std::max(newest_end, m.event.end);
+  }
+  // Lapping drops the *oldest* history: the newest event must still land at
+  // the machine's final clock reading.
+  EXPECT_NEAR(newest_end, machine.now_seconds(), 1e-12);
+}
+
+TEST(TraceRingTest, ChromeExportEmbedsPhaseNameTable) {
+  TraceRing ring(1, 8);
+  ring.record(0, TraceKind::Phase, 4, 0.001, 0.002);
+  std::ostringstream os;
+  write_chrome_trace(ring.snapshot(), os, {{4, "forces"}});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"phase_names\":{\"4\":\"forces\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
 TEST(TraceRingTest, TracingLeavesEngineObservablesBitIdentical) {
   auto run = [](bool traced) {
     workloads::BenchmarkSpec spec = workloads::make_al1000();

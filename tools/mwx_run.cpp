@@ -29,22 +29,28 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "md/cost_table.hpp"
 #include "md/engine.hpp"
 #include "parallel/thread_pool.hpp"
 #include "perf/native_pmu.hpp"
+#include "perf/planner.hpp"
 #include "perf/pmu.hpp"
 #include "perf/trace_ring.hpp"
 #include "sim/machine.hpp"
+#include "topo/cpuset.hpp"
 #include "topo/machine_spec.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
 
 using namespace mwx;
+
+enum class PlanValidate { kNone, kExtremes, kAll };
 
 struct Options {
   std::string benchmark = "Al-1000";
@@ -53,13 +59,22 @@ struct Options {
   std::string name;  // artifact stem; defaults to "<benchmark>_<threads>t"
   bool check = false;
   sim::Assignment assignment = sim::Assignment::WorkStealing;
+  bool plan = false;
+  PlanValidate plan_validate = PlanValidate::kExtremes;
+  double plan_tol_pct = 15.0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <benchmark> <steps> <threads> [--name STEM] [--check]"
                " [--assignment static|queue|steal]\n"
-               "  benchmark: nanocar | salt | Al-1000\n";
+               "       [--plan] [--plan-validate none|extremes|all] [--plan-tol PCT]\n"
+               "  benchmark: nanocar | salt | Al-1000\n"
+               "  --plan: what-if planner — profile the instrumented sim run and rank\n"
+               "          every Table II machine x discipline x pinning config; writes\n"
+               "          PLAN_<name>.json.  --plan-validate re-runs the chosen subset\n"
+               "          of configs in the simulator and exits nonzero when the best\n"
+               "          or worst validated prediction misses by more than --plan-tol.\n";
   std::exit(2);
 }
 
@@ -87,6 +102,21 @@ Options parse(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+    } else if (arg == "--plan") {
+      opt.plan = true;
+    } else if (arg == "--plan-validate" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "none") {
+        opt.plan_validate = PlanValidate::kNone;
+      } else if (v == "extremes") {
+        opt.plan_validate = PlanValidate::kExtremes;
+      } else if (v == "all") {
+        opt.plan_validate = PlanValidate::kAll;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--plan-tol" && i + 1 < argc) {
+      opt.plan_tol_pct = std::atof(argv[++i]);
     } else {
       usage(argv[0]);
     }
@@ -169,6 +199,107 @@ void write_text_file(const std::string& path, const std::string& what,
   std::cout << "wrote " << path << " (" << what << ")\n";
 }
 
+// --- What-if planner ---------------------------------------------------------
+
+// Canonical pinning for a candidate config: thread i on core i (topology-
+// major), one PU per core — the same placement the planner's capacity and
+// remote-fraction models assume.
+std::vector<topo::CpuSet> canonical_pin_masks(const topo::MachineSpec& spec, int n_threads) {
+  std::vector<topo::CpuSet> masks;
+  for (int i = 0; i < n_threads; ++i) {
+    masks.push_back(topo::CpuSet::of({(i % spec.n_cores()) * spec.smt_per_core}));
+  }
+  return masks;
+}
+
+// Validates one prediction by actually running the config in the simulator
+// (cold engine, same physics — the backends are bit-identical, so only the
+// timing differs).
+double run_config_simulated(const Options& opt, const perf::PlanConfig& c) {
+  workloads::BenchmarkSpec spec = workloads::make_benchmark(opt.benchmark);
+  md::EngineConfig cfg = spec.engine;
+  cfg.n_threads = c.n_threads;
+  cfg.assignment = c.assignment;
+  cfg.chunks_per_thread = c.chunks_per_thread;
+  md::Engine engine(std::move(spec.system), cfg);
+  sim::MachineConfig mc;
+  mc.spec = c.spec;
+  mc.n_threads = c.n_threads;
+  mc.record_events = false;
+  if (c.pinned) mc.pin_masks = canonical_pin_masks(c.spec, c.n_threads);
+  sim::Machine machine(mc);
+  engine.run_simulated(machine, opt.steps);
+  return machine.now_seconds();
+}
+
+// Profiles the already-executed instrumented run, ranks the default search
+// grid, validates the requested subset against fresh simulated runs, writes
+// PLAN_<name>.json, and gates on predicted-vs-measured divergence.  Returns
+// the number of tolerance failures.
+int run_planner(const Options& opt, const sim::Machine& machine, const md::Engine& sim_engine,
+                const perf::TraceRing& sim_trace, const perf::PmuReport& sim_report) {
+  perf::RunMeta meta;
+  meta.benchmark = opt.benchmark;
+  meta.steps = opt.steps;
+  meta.n_threads = opt.threads;
+  meta.slots = sim_engine.n_slots();
+  meta.measured_seconds = machine.now_seconds();
+  meta.spec = topo::core_i7_920();
+  meta.assignment = opt.assignment;
+
+  perf::Planner planner(
+      perf::Planner::profile_from(sim_trace.snapshot(), sim_report, meta));
+  std::vector<perf::Prediction> ranked = planner.rank(perf::Planner::default_grid(opt.threads));
+
+  // The instrumented run IS one of the grid points (reference machine,
+  // OS-scheduled, opt.assignment): its measurement is free.
+  for (auto& pr : ranked) {
+    if (pr.config.spec.name == meta.spec.name && pr.config.assignment == opt.assignment &&
+        !pr.config.pinned && pr.config.n_threads == opt.threads) {
+      pr.validated = true;
+      pr.measured_seconds = meta.measured_seconds;
+    }
+  }
+  if (!ranked.empty()) {
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      const bool extreme = i == 0 || i + 1 == ranked.size();
+      const bool want = opt.plan_validate == PlanValidate::kAll ||
+                        (opt.plan_validate == PlanValidate::kExtremes && extreme);
+      if (want && !ranked[i].validated) {
+        ranked[i].measured_seconds = run_config_simulated(opt, ranked[i].config);
+        ranked[i].validated = true;
+      }
+    }
+  }
+
+  write_text_file("PLAN_" + opt.name + ".json", "what-if plan",
+                  [&](std::ostream& out) {
+                    perf::write_plan_json(out, opt.name, perf::build_git_sha(),
+                                          planner.profile(), ranked, opt.plan_tol_pct,
+                                          md::phase_tag_name_map());
+                  });
+
+  const auto& profile = planner.profile();
+  std::cout << "plan: " << profile.phases.size() << " phase classes, self-parallelism "
+            << profile.self_parallelism() << ", " << ranked.size() << " configs ranked\n";
+  int failures = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto& pr = ranked[i];
+    std::cout << "plan[" << i + 1 << "] " << pr.config.label() << " predicted " << pr.seconds
+              << "s speedup " << pr.speedup;
+    if (pr.validated) {
+      std::cout << " measured " << pr.measured_seconds << "s error " << pr.error_pct() << "%";
+      const bool extreme = i == 0 || i + 1 == ranked.size();
+      if (extreme && std::fabs(pr.error_pct()) > opt.plan_tol_pct) {
+        std::cout << "  TOLERANCE EXCEEDED (" << opt.plan_tol_pct << "%)";
+        ++failures;
+      }
+    }
+    std::cout << "\n";
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,7 +316,12 @@ int main(int argc, char** argv) {
   sim::Machine machine(mc);
   sim_engine.run_simulated(machine, opt.steps);
 
-  const perf::PmuReport sim_report = machine.pmu_report();
+  // The engine's tag->name table rides inside every artifact (satellite of
+  // the planner work): consumers join on it instead of hard-coding the
+  // phase vocabulary.
+  const std::map<int, std::string> phase_names = md::phase_tag_name_map();
+  perf::PmuReport sim_report = machine.pmu_report();
+  sim_report.phase_names = phase_names;
   const perf::CounterSet machine_total = sim::to_counter_set(machine.counters());
   write_text_file("PMU_" + opt.name + "_sim.json", "sim counter domains",
                   [&](std::ostream& out) {
@@ -194,7 +330,7 @@ int main(int argc, char** argv) {
                   });
   write_text_file("TRACE_" + opt.name + "_sim.json", "simulated-time trace",
                   [&](std::ostream& out) {
-                    perf::write_chrome_trace(sim_trace.snapshot(), out);
+                    perf::write_chrome_trace(sim_trace.snapshot(), out, phase_names);
                   });
 
   // --- Native backend ---------------------------------------------------------
@@ -215,7 +351,8 @@ int main(int argc, char** argv) {
     native_engine.run_native(pool, opt.steps);
     pool.shutdown();
   }
-  const perf::PmuReport native_report = pmu.report();
+  perf::PmuReport native_report = pmu.report();
+  native_report.phase_names = phase_names;
   write_text_file("PMU_" + opt.name + "_native.json",
                   "native counters, provider " + native_report.provider,
                   [&](std::ostream& out) {
@@ -223,7 +360,7 @@ int main(int argc, char** argv) {
                   });
   write_text_file("TRACE_" + opt.name + "_native.json", "wall-time trace",
                   [&](std::ostream& out) {
-                    perf::write_chrome_trace(native_trace.snapshot(), out);
+                    perf::write_chrome_trace(native_trace.snapshot(), out, phase_names);
                   });
 
   // --- Run summary ------------------------------------------------------------
@@ -272,6 +409,16 @@ int main(int argc, char** argv) {
     json.metric("alloc", "temp_vec3_per_step", double(tr.total_allocated) / opt.steps);
   }
   std::cout << "wrote " << json.write() << " (run summary)\n";
+
+  // --- What-if planner --------------------------------------------------------
+  if (opt.plan) {
+    const int plan_failures = run_planner(opt, machine, sim_engine, sim_trace, sim_report);
+    if (plan_failures > 0) {
+      std::cerr << plan_failures << " plan prediction(s) outside the " << opt.plan_tol_pct
+                << "% tolerance\n";
+      return 1;
+    }
+  }
 
   // --- Conservation self-check ------------------------------------------------
   if (opt.check) {
